@@ -1,0 +1,33 @@
+"""A2 — ablation: lossy channels and the retransmission extension.
+
+Shape asserted: with reliable channels nothing changes; with loss the raw
+protocol's rounds freeze below quorum (the model's reliable-links
+assumption is load-bearing), and the retransmission extension restores
+round liveness and crash detection without adding any timeout-based
+suspicion.
+"""
+
+from repro.experiments import a2_loss_resilience
+
+from .conftest import print_table, rows_as_dicts, run_once
+
+
+def test_a2_loss_resilience(benchmark):
+    params = a2_loss_resilience.A2Params(
+        n=10, f=2, loss_rates=(0.0, 0.3), retry_settings=(None, 0.5), horizon=60.0
+    )
+    table = run_once(benchmark, lambda: a2_loss_resilience.run(params))
+    print_table(table)
+    rows = {
+        (row["loss rate"], row["retry (s)"]): row for row in rows_as_dicts(table)
+    }
+    # Reliable channels: no retries needed, nothing frozen, either way.
+    assert rows[(0.0, "off")]["frozen processes"] == 0
+    assert rows[(0.0, 0.5)]["retransmissions"] == 0
+    # Heavy loss without retransmission: rounds freeze.
+    assert rows[(0.3, "off")]["frozen processes"] > 0
+    # With retransmission: every process keeps cycling and the crash is
+    # detected by all correct observers.
+    assert rows[(0.3, 0.5)]["frozen processes"] == 0
+    assert rows[(0.3, 0.5)]["retransmissions"] > 0
+    assert rows[(0.3, 0.5)]["crash detected by"] == "9/9"

@@ -1,0 +1,33 @@
+"""E1 — detection time vs range density (extension figure, RR-6088 Fig. 2).
+
+Shape asserted: the Friedman-Tcharny gossip detector's detection time is
+flat inside [Θ-Δ, Θ] at every density (timer-bound); the time-free
+detector beats it at every density and trends down toward Δ + δ as the
+network densifies.
+"""
+
+from repro.experiments import e1_density
+
+from .conftest import print_table, rows_as_dicts, run_once
+
+
+def test_e1_density(benchmark):
+    params = e1_density.E1Params(
+        n=50, f=5, densities=(7, 12, 20), crashes=5, horizon=45.0
+    )
+    table = run_once(benchmark, lambda: e1_density.run(params))
+    print_table(table)
+    rows = rows_as_dicts(table)
+    gossip = [row for row in rows if row["detector"] == "Friedman-Tcharny"]
+    async_rows = [row for row in rows if row["detector"] == "time-free (async)"]
+    # Strong completeness achieved everywhere.
+    assert all(row["undetected"] == 0 for row in rows)
+    # Gossip: flat within the timeout band, independent of density.
+    for row in gossip:
+        assert 1.0 <= row["detect mean (s)"] <= 2.1
+    # Time-free: faster than gossip at every density...
+    for tf, gp in zip(async_rows, gossip):
+        assert tf["detect mean (s)"] < gp["detect mean (s)"]
+    # ...and trending toward Δ + δ as density grows.
+    assert async_rows[-1]["detect mean (s)"] <= async_rows[0]["detect mean (s)"] + 0.05
+    assert async_rows[-1]["detect mean (s)"] < 1.15

@@ -1,0 +1,35 @@
+"""E2 — false suspicions under mobility (extension figure, RR-6088 Fig. 3).
+
+Shape asserted: while the mover is away every other node suspects it
+(count = n - 1); after reconnection the mistake flood collapses the count
+back to zero within a few query periods — but only with Algorithm 2's
+``known``-eviction rule; the ablation column stays nonzero (the
+suspicion ping-pong between the mover and its old range).
+"""
+
+from repro.experiments import e2_mobility
+
+from .conftest import print_table, rows_as_dicts, run_once
+
+
+def test_e2_mobility(benchmark):
+    params = e2_mobility.E2Params(
+        n=30, depart=20.0, arrive=60.0, horizon=110.0, sample_step=2.0
+    )
+    table = run_once(benchmark, lambda: e2_mobility.run(params))
+    print_table(table)
+    rows = rows_as_dicts(table)
+    by_time = {row["time (s)"]: row for row in rows}
+    away_times = [t for t in by_time if 35.0 <= t <= 55.0]
+    assert away_times
+    # All n - 1 live nodes suspect the mover while it is away.
+    for t in away_times:
+        assert by_time[t]["false suspicions (alg 2)"] == params.n - 1
+    # After reconnection: Algorithm 2 collapses to zero...
+    settled = [t for t in by_time if t >= params.arrive + 20.0]
+    assert settled
+    for t in settled:
+        assert by_time[t]["false suspicions (alg 2)"] == 0
+    # ...the ablation does not.
+    final = by_time[max(by_time)]
+    assert final["false suspicions (no eviction)"] > 0

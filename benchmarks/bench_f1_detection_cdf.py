@@ -1,0 +1,30 @@
+"""F1 — detection-time distribution (DESIGN.md experiment F1).
+
+Shape asserted: the heartbeat CDF is supported on [Θ-Δ, Θ] (a uniform
+ramp from where the crash lands in the beat cycle); the time-free CDF
+concentrates just above the grace Δ with a short tail.
+"""
+
+from repro.experiments import f1_detection_cdf
+
+from .conftest import print_table, run_once
+
+
+def test_f1_detection_cdf(benchmark):
+    params = f1_detection_cdf.F1Params(n=15, f=3, trials=6, horizon=22.0)
+    table = run_once(benchmark, lambda: f1_detection_cdf.run(params))
+    print_table(table)
+    quantiles = dict(
+        zip(table.column("quantile"), zip(table.column("time-free (s)"), table.column("heartbeat (s)")))
+    )
+    tf_p50, hb_p50 = quantiles["p50"]
+    tf_p90, hb_p90 = quantiles["p90"]
+    # Time-free concentrates near Δ = 1 s; heartbeat spreads over [1, 2] s.
+    assert tf_p50 < hb_p50
+    assert tf_p90 < 1.5
+    assert 1.0 <= quantiles["min"][1]
+    assert quantiles["max"][1] <= 2.2
+    # Time-free spread (p90 - p10) is tighter than heartbeat's.
+    tf_spread = quantiles["p90"][0] - quantiles["p10"][0]
+    hb_spread = quantiles["p90"][1] - quantiles["p10"][1]
+    assert tf_spread < hb_spread

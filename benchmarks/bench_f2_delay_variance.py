@@ -1,0 +1,53 @@
+"""F2 — accuracy under asynchrony (DESIGN.md experiment F2).
+
+Shape asserted (the headline result): after a uniform delay inflation the
+time-free detector never falsely suspects the responsive (RP) process —
+its quorums depend on response *order*, which rescaling preserves — while
+the fixed-timeout heartbeat loses that accuracy anchor once delays reach
+Θ.  In the calm regime every detector is clean.
+"""
+
+from repro.experiments import f2_delay_variance
+
+from .conftest import print_table, rows_as_dicts, run_once
+
+
+def test_f2_regime_shift(benchmark):
+    params = f2_delay_variance.F2Params(
+        n=15, f=3, horizon=60.0, shift_factors=(1.0, 400.0, 2000.0)
+    )
+    table = run_once(benchmark, lambda: f2_delay_variance.run_regime_shift(params))
+    print_table(table)
+    rows = rows_as_dicts(table)
+
+    def cell(stress, detector_prefix, column):
+        return next(
+            row[column]
+            for row in rows
+            if row["stress"] == stress and row["detector"].startswith(detector_prefix)
+        )
+
+    # Calm regime: nobody errs.
+    for detector in ("time-free", "heartbeat", "phi"):
+        assert cell("x1", detector, "total false susp.") == 0
+    # The anchor: the time-free detector never suspects the RP process.
+    for stress in ("x1", "x400", "x2000"):
+        assert cell(stress, "time-free", "responsive-node false susp.") == 0
+        assert cell(stress, "time-free", "responsive node clear at end") is True
+    # The heartbeat loses the anchor under extreme inflation.
+    assert cell("x2000", "heartbeat", "responsive-node false susp.") > 0
+
+
+def test_f2_variance_sweep(benchmark):
+    params = f2_delay_variance.F2Params(n=15, f=3, horizon=50.0, sigmas=(0.5, 2.5))
+    table = run_once(benchmark, lambda: f2_delay_variance.run_variance_sweep(params))
+    print_table(table)
+    rows = rows_as_dicts(table)
+    calm = [row for row in rows if row["stress"] == "σ=0.5"]
+    assert all(row["total false susp."] == 0 for row in calm)
+    # Under heavy tails mistakes appear for everyone, but they self-correct:
+    # the responsive node ends the run unsuspected for the time-free run.
+    tf_heavy = next(
+        row for row in rows if row["stress"] == "σ=2.5" and row["detector"] == "time-free"
+    )
+    assert tf_heavy["responsive node clear at end"] is True

@@ -1,0 +1,31 @@
+"""F3 — sensitivity to the MP behavioral property (DESIGN.md experiment F3).
+
+Shape asserted: with a strongly responsive favored process the MP oracle
+certifies the run and accuracy anchors on it; as the speed advantage
+shrinks below 1 the winning ratio decays and suspicion counts grow —
+demonstrating that MP, not timing folklore, is the load-bearing assumption.
+"""
+
+from repro.experiments import f3_mp_sensitivity
+
+from .conftest import print_table, run_once
+
+
+def test_f3_mp_sensitivity(benchmark):
+    params = f3_mp_sensitivity.F3Params(
+        n=10, f=4, horizon=20.0, speedups=(8.0, 2.0, 1.0, 0.5)
+    )
+    table = run_once(benchmark, lambda: f3_mp_sensitivity.run(params))
+    print_table(table)
+    speedups = table.column("speedup")
+    ratios = dict(zip(speedups, table.column("winning ratio")))
+    mp = dict(zip(speedups, table.column("MP holds (oracle)")))
+    suspected = dict(zip(speedups, table.column("times favored suspected")))
+    # Strong responsiveness: near-perfect winning ratio, MP certified.
+    assert ratios[8.0] > 0.95
+    assert mp[8.0] is True
+    # Monotone degradation of the winning ratio as the advantage shrinks.
+    assert ratios[8.0] > ratios[2.0] > ratios[1.0] > ratios[0.5]
+    # Accuracy for the favored process degrades along with it.
+    assert suspected[0.5] > suspected[8.0]
+    assert mp[0.5] is False

@@ -1,0 +1,25 @@
+"""T1 — crash detection time vs system size (DESIGN.md experiment T1).
+
+Shape asserted: heartbeat detection sits in [Θ-Δ, Θ] independent of n;
+the time-free detector tracks Δ + δ and beats it at every size.
+"""
+
+from repro.experiments import t1_detection_vs_n
+
+from .conftest import print_table, run_once
+
+
+def test_t1_detection_vs_n(benchmark):
+    params = t1_detection_vs_n.T1Params(sizes=(10, 20, 30), trials=2, horizon=35.0)
+    table = run_once(benchmark, lambda: t1_detection_vs_n.run(params))
+    print_table(table)
+    tf_means = table.column("time-free mean (s)")
+    hb_means = table.column("heartbeat mean (s)")
+    # Heartbeat: inside the timeout band at every n.
+    assert all(1.0 <= value <= 2.1 for value in hb_means)
+    # Time-free: ≈ Δ + δ, always faster than the timeout band.
+    assert all(value < 1.4 for value in tf_means)
+    assert all(tf < hb for tf, hb in zip(tf_means, hb_means))
+    # Strong completeness time does not blow up with n for either.
+    assert all(value < 2.3 for value in table.column("heartbeat max (s)"))
+    assert all(value < 1.5 for value in table.column("time-free max (s)"))

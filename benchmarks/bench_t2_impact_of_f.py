@@ -1,0 +1,25 @@
+"""T2 — impact of the crash bound f (DESIGN.md experiment T2).
+
+Shape asserted: rounds terminate (after n - f responses) for every f;
+detection time stays pinned near the query grace Δ regardless of f.
+"""
+
+from repro.experiments import t2_impact_of_f
+
+from .conftest import print_table, rows_as_dicts, run_once
+
+
+def test_t2_impact_of_f(benchmark):
+    params = t2_impact_of_f.T2Params(n=20, f_values=(1, 5, 9), horizon=30.0)
+    table = run_once(benchmark, lambda: t2_impact_of_f.run(params))
+    print_table(table)
+    rows = rows_as_dicts(table)
+    for row in rows:
+        assert row["quorum n-f"] == 20 - row["f"]
+        # Detection pinned near Δ = 1 s at every f.
+        assert row["detect mean (s)"] < 1.6
+        # The protocol keeps cycling rounds whatever the quorum size.
+        assert row["rounds/process"] > 10
+    # A smaller quorum (larger f) never makes rounds *slower*.
+    durations = [row["round duration (s)"] for row in rows]
+    assert durations[0] >= durations[-1] - 0.05

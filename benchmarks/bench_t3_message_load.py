@@ -1,0 +1,31 @@
+"""T3 — message load per detector (DESIGN.md experiment T3).
+
+Shape asserted: the query-response detector pays ~2x the heartbeat
+message count (query + response per pair per period); all heartbeat
+variants pay (n-1)/Δ.
+"""
+
+from repro.experiments import t3_message_load
+
+from .conftest import print_table, rows_as_dicts, run_once
+
+
+def test_t3_message_load(benchmark):
+    params = t3_message_load.T3Params(sizes=(10, 30), horizon=20.0)
+    table = run_once(benchmark, lambda: t3_message_load.run(params))
+    print_table(table)
+    rows = rows_as_dicts(table)
+    for n in (10, 30):
+        loads = {
+            row["detector"]: row["msgs/s/process"]
+            for row in rows
+            if row["n"] == n
+        }
+        heartbeat = loads["heartbeat Θ=2s"]
+        # Heartbeats: one beat per peer per Δ = (n-1)/s.
+        assert abs(heartbeat - (n - 1)) / (n - 1) < 0.15
+        # Gossip and phi ride the same beat schedule.
+        assert abs(loads["gossip FT Θ=2s"] - heartbeat) / heartbeat < 0.15
+        # Query-response: ~2x (a query out and a response back per pair).
+        ratio = loads["time-free (async)"] / heartbeat
+        assert 1.5 <= ratio <= 2.5

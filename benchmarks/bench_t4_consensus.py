@@ -1,0 +1,29 @@
+"""T4 — consensus latency over each detector (DESIGN.md experiment T4).
+
+Shape asserted: fault-free, both detectors decide promptly; with the
+round-1 coordinator crashed, recovery over the time-free detector takes
+about one query round while the heartbeat run waits out its timeout —
+so the time-free run decides strictly faster.
+"""
+
+from repro.experiments import t4_consensus
+
+from .conftest import print_table, rows_as_dicts, run_once
+
+
+def test_t4_consensus(benchmark):
+    params = t4_consensus.T4Params(n=9, f=4, horizon=60.0)
+    table = run_once(benchmark, lambda: t4_consensus.run(params))
+    print_table(table)
+    rows = rows_as_dicts(table)
+    assert all(row["all correct decided"] for row in rows)
+    assert all(row["agreement"] and row["validity"] for row in rows)
+    by_key = {(row["detector"], row["scenario"]): row for row in rows}
+    tf_crash = next(v for k, v in by_key.items() if "time-free" in k[0] and "crash" in k[1])
+    hb_crash = next(v for k, v in by_key.items() if "heartbeat" in k[0] and "crash" in k[1])
+    tf_clean = next(v for k, v in by_key.items() if "time-free" in k[0] and "fault-free" in k[1])
+    # Fault-free: decision well under one pacing period.
+    assert tf_clean["decision time (s)"] < 0.2
+    # Coordinator crash: the time-free run recovers faster than the
+    # timeout-bound heartbeat run.
+    assert tf_crash["decision time (s)"] < hb_crash["decision time (s)"]

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table/figure of the evaluation (see
+DESIGN.md Section 3): it runs the experiment once under pytest-benchmark
+(timing the full simulation + analysis pipeline), prints the resulting
+rows, and asserts the qualitative shape the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Absolute numbers are simulator-dependent; shapes are the reproduction.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer and return it.
+
+    Experiments are whole simulation campaigns (seconds each); multiple
+    timing rounds would add minutes for no statistical benefit.
+    """
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def print_table(result) -> None:
+    tables = result if isinstance(result, list) else [result]
+    for table in tables:
+        print()
+        print(table.render())
+
+
+def rows_as_dicts(table) -> list[dict]:
+    return [dict(zip(table.headers, row)) for row in table.rows]

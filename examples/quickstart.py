@@ -1,0 +1,53 @@
+"""Quickstart: run the time-free failure detector as an asyncio service.
+
+Five detector modules over an in-process transport, one induced crash,
+and the suspect lists converging — no timeout was configured anywhere:
+detection is driven purely by the query-response message pattern.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import asyncio
+
+from repro import LocalCluster
+from repro.sim.latency import ConstantLatency
+
+
+async def main() -> None:
+    # n = 5 processes, tolerating up to f = 2 crashes: each query round
+    # terminates after n - f = 3 responses.
+    cluster = LocalCluster(n=5, f=2, latency=ConstantLatency(0.002), seed=42)
+    await cluster.start()
+    print("cluster of 5 started; letting query-response rounds run...")
+    await asyncio.sleep(0.3)
+
+    for pid in sorted(cluster.membership):
+        assert not cluster.suspects_of(pid), "a healthy cluster suspects nobody"
+    print("no suspicions while everyone answers queries ✓")
+
+    print("\ncrashing process 3 ...")
+    cluster.crash(3)
+    await cluster.until_all_suspect(3, timeout=30.0)
+    for pid in sorted(cluster.membership - {3}):
+        print(f"  process {pid} suspects: {sorted(cluster.suspects_of(pid))}")
+    print("strong completeness reached: every live process suspects 3 ✓")
+
+    # The detector output is a live stream too:
+    queue = cluster.services[1].watch()
+    print("\nwatch() delivers future suspect-list changes as they happen")
+    cluster.crash(5)
+    async with asyncio.timeout(30.0):
+        while True:
+            suspects = await queue.get()
+            print(f"  process 1 now suspects: {sorted(suspects)}")
+            if 5 in suspects:
+                break
+
+    await cluster.stop()
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,72 @@
+"""repro — a time-free (asynchronous) implementation of failure detectors.
+
+Reproduction of **"Asynchronous Implementation of Failure Detectors"**
+(DSN 2003): unreliable failure detectors of class ◇S built from a
+query-response message pattern instead of timeouts, for asynchronous
+crash-prone message-passing systems.  See DESIGN.md for the paper-identity
+note and the full system inventory.
+
+Quick tour
+----------
+
+Run the detector as a real asyncio service::
+
+    from repro import LocalCluster
+
+    cluster = LocalCluster(n=5, f=2)
+    await cluster.start()
+    cluster.crash(3)
+    await cluster.until_all_suspect(3)
+
+Reproduce an experiment on the deterministic simulator::
+
+    from repro.experiments import t1_detection_vs_n
+
+    print(t1_detection_vs_n.run())
+
+Packages
+--------
+
+==================  =====================================================
+``repro.core``      the paper's algorithm (sans-I/O), FD classes, Omega
+``repro.partial``   unknown membership / partial connectivity / mobility
+``repro.sim``       deterministic discrete-event simulation substrate
+``repro.runtime``   asyncio runtime (in-memory and UDP transports)
+``repro.baselines`` heartbeat, gossip and phi-accrual comparators
+``repro.consensus`` Chandra-Toueg ◇S consensus on top of any detector
+``repro.metrics``   failure-detector QoS from run traces
+``repro.experiments`` every table/figure, regenerable from code
+==================  =====================================================
+"""
+
+from .core import (
+    DetectorConfig,
+    FailureDetector,
+    FDClass,
+    Query,
+    QueryRoundOutcome,
+    Response,
+    TimeFreeDetector,
+)
+from .errors import ReproError
+from .ids import ProcessId, make_membership
+from .runtime import DetectorService, LocalCluster, ServicePacing
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DetectorConfig",
+    "DetectorService",
+    "FDClass",
+    "FailureDetector",
+    "LocalCluster",
+    "ProcessId",
+    "Query",
+    "QueryRoundOutcome",
+    "ReproError",
+    "Response",
+    "ServicePacing",
+    "TimeFreeDetector",
+    "__version__",
+    "make_membership",
+]

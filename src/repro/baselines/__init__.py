@@ -1,0 +1,32 @@
+"""Timer-based comparator detectors.
+
+Everything the paper argues *against* — and what mainstream systems actually
+ship — lives here, implemented as sans-I/O cores hosted by
+:class:`repro.sim.node.TimedDriver` (simulator) or the asyncio runtime:
+
+* :class:`~repro.baselines.heartbeat.HeartbeatDetector` — the classical
+  all-to-all heartbeat with a fixed (optionally adaptive) timeout Θ.
+* :class:`~repro.baselines.gossip.GossipHeartbeatDetector` — the Friedman-
+  Tcharny MANET detector the follow-up report benchmarks against: heartbeat
+  *vectors* flooded to neighbors with max-merge, per-entry timers.
+* :class:`~repro.baselines.phi_accrual.PhiAccrualDetector` — the Hayashibara
+  accrual detector used by modern OSS systems (Akka, Cassandra), which
+  adapts a statistical timeout instead of fixing one.
+
+All three remain fundamentally *timer-based*: their correctness depends on
+an eventual bound on message delay holding, and the F2 experiment shows how
+they misfire under heavy-tailed delays while the time-free detector does
+not.
+"""
+
+from .gossip import GossipHeartbeat, GossipHeartbeatDetector
+from .heartbeat import Heartbeat, HeartbeatDetector
+from .phi_accrual import PhiAccrualDetector
+
+__all__ = [
+    "GossipHeartbeat",
+    "GossipHeartbeatDetector",
+    "Heartbeat",
+    "HeartbeatDetector",
+    "PhiAccrualDetector",
+]

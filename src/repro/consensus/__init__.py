@@ -1,0 +1,29 @@
+"""Chandra-Toueg ◇S consensus — the application the detector exists for.
+
+Chandra & Toueg proved that consensus is solvable in an asynchronous system
+augmented with a ◇S failure detector when a majority of processes is
+correct.  This package implements their rotating-coordinator protocol as a
+sans-I/O state machine (:mod:`repro.consensus.protocol`) that *pulls* the
+suspect list from any :class:`repro.core.classes.FailureDetector`, plus a
+simulation harness (:mod:`repro.consensus.sim_runner`) that co-hosts the
+detector and the consensus participant on each simulated node.
+
+The T4 experiment runs this consensus over the time-free detector and over
+every baseline, fault-free and with a crashed coordinator.
+"""
+
+from .messages import Ack, Decide, Estimate, Nack, Proposal
+from .protocol import ChandraTouegConsensus, ConsensusConfig
+from .sim_runner import ConsensusHarness, ConsensusRunResult
+
+__all__ = [
+    "Ack",
+    "ChandraTouegConsensus",
+    "ConsensusConfig",
+    "ConsensusHarness",
+    "ConsensusRunResult",
+    "Decide",
+    "Estimate",
+    "Nack",
+    "Proposal",
+]

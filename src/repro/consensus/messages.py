@@ -1,0 +1,64 @@
+"""Wire messages of the Chandra-Toueg rotating-coordinator protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.messages import register_message
+from ..ids import ProcessId
+
+__all__ = ["Estimate", "Proposal", "Ack", "Nack", "Decide"]
+
+
+@register_message("ct.estimate")
+@dataclass(frozen=True, slots=True)
+class Estimate:
+    """Phase 1: a participant's current estimate, sent to the coordinator.
+
+    ``ts`` is the round in which the estimate was last adopted from a
+    coordinator (0 for the initial value); the coordinator picks an
+    estimate with maximal ``ts`` — the locking rule behind agreement.
+    """
+
+    sender: ProcessId
+    round: int
+    value: Any
+    ts: int
+
+
+@register_message("ct.proposal")
+@dataclass(frozen=True, slots=True)
+class Proposal:
+    """Phase 2: the coordinator's proposal for its round."""
+
+    sender: ProcessId
+    round: int
+    value: Any
+
+
+@register_message("ct.ack")
+@dataclass(frozen=True, slots=True)
+class Ack:
+    """Phase 3: the participant adopted the round's proposal."""
+
+    sender: ProcessId
+    round: int
+
+
+@register_message("ct.nack")
+@dataclass(frozen=True, slots=True)
+class Nack:
+    """Phase 3: the participant suspected the coordinator and moved on."""
+
+    sender: ProcessId
+    round: int
+
+
+@register_message("ct.decide")
+@dataclass(frozen=True, slots=True)
+class Decide:
+    """Reliable broadcast of the decision (relayed once by every receiver)."""
+
+    sender: ProcessId
+    value: Any

@@ -1,0 +1,287 @@
+"""The Chandra-Toueg ◇S consensus state machine (CT'96, Figure 6).
+
+Sans-I/O and event-driven: every entry point (:meth:`propose`,
+:meth:`on_message`, :meth:`poke`) returns the effects to transmit, and
+internally runs a *progress loop* that advances through as many phases as
+the buffered state allows.  The suspect list is **pulled** from a callback
+on every evaluation of the phase-3 wait, so any detector satisfying the
+:class:`repro.core.classes.FailureDetector` surface plugs in.
+
+Round structure (round ``r``, coordinator ``c = ((r - 1) mod n) + 1``-th
+member in sorted order):
+
+* **Phase 1** — everyone sends its ``(estimate, ts)`` to ``c``.
+* **Phase 2** — ``c`` gathers a majority of estimates and proposes one with
+  maximal ``ts``.
+* **Phase 3** — everyone waits for ``c``'s proposal *or* for its detector
+  to suspect ``c``; it then acks (adopting the proposal with ``ts = r``) or
+  nacks, and enters round ``r + 1``.
+* **Phase 4** — ``c`` gathers a majority of acks/nacks; if all are acks the
+  value is *locked*: ``c`` reliably broadcasts ``DECIDE``.
+
+Safety (validity + agreement) holds under any detector output whatsoever;
+liveness needs ◇S and ``f < n / 2`` — exactly the paper's motivation for
+building a ◇S detector without timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.effects import Effect, SendTo
+from ..errors import ConfigurationError, ConsensusError
+from ..ids import ProcessId, coordinator_of_round, validate_membership
+from .messages import Ack, Decide, Estimate, Nack, Proposal
+
+__all__ = ["ConsensusConfig", "ChandraTouegConsensus"]
+
+SuspectsSource = Callable[[], frozenset]
+
+
+@dataclass(frozen=True)
+class ConsensusConfig:
+    """Membership and the crash bound for one consensus instance."""
+
+    process_id: ProcessId
+    membership: frozenset[ProcessId]
+    f: int
+
+    def __post_init__(self) -> None:
+        members = validate_membership(self.membership, process_id=self.process_id, f=self.f)
+        object.__setattr__(self, "membership", members)
+        if 2 * self.f >= len(members):
+            raise ConfigurationError(
+                f"Chandra-Toueg consensus needs a correct majority (f < n/2); "
+                f"got f={self.f}, n={len(members)}"
+            )
+
+    @property
+    def n(self) -> int:
+        return len(self.membership)
+
+    @property
+    def majority(self) -> int:
+        return self.n // 2 + 1
+
+    def coordinator(self, round_number: int) -> ProcessId:
+        return coordinator_of_round(round_number, sorted(self.membership, key=repr))
+
+
+class ChandraTouegConsensus:
+    """One process's participant state machine."""
+
+    def __init__(self, config: ConsensusConfig, suspects_source: SuspectsSource) -> None:
+        self._config = config
+        self._suspects = suspects_source
+        self._round = 0
+        self._estimate: Any = None
+        self._ts = 0
+        self._proposed = False
+        self._decided = False
+        self._decision: Any = None
+        self._decide_relayed = False
+        # Buffered mailboxes, keyed by round.
+        self._estimates: dict[int, dict[ProcessId, Estimate]] = {}
+        self._replies: dict[int, dict[ProcessId, bool]] = {}  # True = ack
+        self._proposals: dict[int, Proposal] = {}
+        # Phase bookkeeping for the current round.
+        self._phase3_done = False
+        self._coordinator_proposed = False
+        self._coordinator_resolved = False
+        self._rounds_executed = 0
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def process_id(self) -> ProcessId:
+        return self._config.process_id
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    @property
+    def rounds_executed(self) -> int:
+        """Rounds this process has fully moved through (≥ decision round)."""
+        return self._rounds_executed
+
+    @property
+    def decided(self) -> bool:
+        return self._decided
+
+    @property
+    def decision(self) -> Any:
+        if not self._decided:
+            raise ConsensusError(f"{self.process_id!r} has not decided")
+        return self._decision
+
+    # -- entry points -------------------------------------------------------
+    def propose(self, value: Any) -> list[Effect]:
+        """Start participating with initial estimate ``value``."""
+        if self._proposed:
+            raise ConsensusError(f"{self.process_id!r} already proposed")
+        self._proposed = True
+        self._estimate = value
+        self._ts = 0
+        self._round = 1
+        self._enter_round()
+        effects: list[Effect] = []
+        self._send_estimate(effects)
+        self._progress(effects)
+        return effects
+
+    def on_message(self, sender: ProcessId, message: object) -> list[Effect]:
+        """Feed one received consensus message; returns effects."""
+        effects: list[Effect] = []
+        if isinstance(message, Decide):
+            self._on_decide(message.value, effects)
+            return effects
+        if self._decided or not self._proposed:
+            return effects
+        if isinstance(message, Estimate):
+            self._estimates.setdefault(message.round, {})[sender] = message
+        elif isinstance(message, Proposal):
+            self._proposals.setdefault(message.round, message)
+        elif isinstance(message, Ack):
+            self._replies.setdefault(message.round, {})[sender] = True
+        elif isinstance(message, Nack):
+            self._replies.setdefault(message.round, {})[sender] = False
+        else:
+            raise ConsensusError(f"foreign message {message!r}")
+        self._progress(effects)
+        return effects
+
+    def poke(self) -> list[Effect]:
+        """Re-evaluate waits after the failure detector's output changed."""
+        effects: list[Effect] = []
+        if self._proposed and not self._decided:
+            self._progress(effects)
+        return effects
+
+    # -- progress loop --------------------------------------------------------
+    def _progress(self, effects: list[Effect]) -> None:
+        # Keep advancing phases until nothing more can move; every step
+        # fires at most once per round (guarded by flags) so the loop
+        # terminates.
+        moved = True
+        while moved and not self._decided:
+            moved = False
+            moved = self._coordinator_phase2(effects) or moved
+            moved = self._phase3(effects) or moved
+            moved = self._coordinator_phase4(effects) or moved
+            moved = self._maybe_advance(effects) or moved
+
+    def _is_coordinator(self) -> bool:
+        return self._config.coordinator(self._round) == self.process_id
+
+    def _coordinator_phase2(self, effects: list[Effect]) -> bool:
+        """Propose once a majority of estimates is buffered."""
+        if not self._is_coordinator() or self._coordinator_proposed:
+            return False
+        estimates = self._estimates.get(self._round, {})
+        if len(estimates) < self._config.majority:
+            return False
+        best = max(estimates.values(), key=lambda e: e.ts)
+        self._coordinator_proposed = True
+        proposal = Proposal(sender=self.process_id, round=self._round, value=best.value)
+        self._broadcast(proposal, effects)
+        return True
+
+    def _phase3(self, effects: list[Effect]) -> bool:
+        """Everyone: adopt the proposal (ack) or denounce a suspect (nack)."""
+        if self._phase3_done:
+            return False
+        coordinator = self._config.coordinator(self._round)
+        proposal = self._proposals.get(self._round)
+        if proposal is not None:
+            self._estimate = proposal.value
+            self._ts = self._round
+            self._send(coordinator, Ack(sender=self.process_id, round=self._round), effects)
+        elif coordinator in self._suspects() and coordinator != self.process_id:
+            self._send(coordinator, Nack(sender=self.process_id, round=self._round), effects)
+        else:
+            return False  # still waiting: proposal or suspicion
+        self._phase3_done = True
+        return True
+
+    def _coordinator_phase4(self, effects: list[Effect]) -> bool:
+        """Coordinator: resolve once a majority of acks/nacks is buffered."""
+        if not self._is_coordinator() or self._coordinator_resolved:
+            return False
+        if not self._coordinator_proposed:
+            return False
+        replies = self._replies.get(self._round, {})
+        if len(replies) < self._config.majority:
+            return False
+        self._coordinator_resolved = True
+        if all(replies.values()):
+            proposal = self._proposals.get(self._round)
+            if proposal is None:
+                raise ConsensusError("coordinator resolved without own proposal")
+            self._on_decide(proposal.value, effects)
+        return True
+
+    def _maybe_advance(self, effects: list[Effect]) -> bool:
+        """Enter the next round once this round's duties are discharged.
+
+        Non-coordinators move on right after phase 3; the coordinator also
+        waits out phase 4 (its reply collection belongs to this round).
+        """
+        if not self._phase3_done:
+            return False
+        if self._is_coordinator() and not self._coordinator_resolved:
+            return False
+        self._rounds_executed += 1
+        self._round += 1
+        self._enter_round()
+        self._send_estimate(effects)
+        return True
+
+    def _enter_round(self) -> None:
+        self._phase3_done = False
+        self._coordinator_proposed = False
+        self._coordinator_resolved = False
+
+    # -- decision ---------------------------------------------------------------
+    def _on_decide(self, value: Any, effects: list[Effect]) -> None:
+        if not self._decide_relayed:
+            # Reliable broadcast: relay once before halting, so a crashed
+            # original sender cannot leave the decision half-delivered.
+            self._decide_relayed = True
+            self._broadcast(Decide(sender=self.process_id, value=value), effects)
+        if not self._decided:
+            self._decided = True
+            self._decision = value
+
+    # -- transmission helpers ------------------------------------------------------
+    def _send_estimate(self, effects: list[Effect]) -> None:
+        coordinator = self._config.coordinator(self._round)
+        estimate = Estimate(
+            sender=self.process_id, round=self._round, value=self._estimate, ts=self._ts
+        )
+        self._send(coordinator, estimate, effects)
+
+    def _send(self, dst: ProcessId, message: object, effects: list[Effect]) -> None:
+        if dst == self.process_id:
+            self._accept_local(message)
+        else:
+            effects.append(SendTo(dst, message))
+
+    def _broadcast(self, message: object, effects: list[Effect]) -> None:
+        for dst in sorted(self._config.membership, key=repr):
+            self._send(dst, message, effects)
+
+    def _accept_local(self, message: object) -> None:
+        """Self-addressed messages bypass the network."""
+        if isinstance(message, Estimate):
+            self._estimates.setdefault(message.round, {})[self.process_id] = message
+        elif isinstance(message, Proposal):
+            self._proposals.setdefault(message.round, message)
+        elif isinstance(message, Ack):
+            self._replies.setdefault(message.round, {})[self.process_id] = True
+        elif isinstance(message, Nack):
+            self._replies.setdefault(message.round, {})[self.process_id] = False
+        elif isinstance(message, Decide):
+            if not self._decided:
+                self._decided = True
+                self._decision = message.value

@@ -1,0 +1,204 @@
+"""Run consensus over any failure detector on the simulator.
+
+Each simulated node co-hosts two protocol stacks: the failure detector
+(driven by its usual driver) and a :class:`ChandraTouegConsensus`
+participant.  The composite driver dispatches incoming messages by type,
+executes consensus effects, and *pokes* the consensus state machine whenever
+the local detector's suspect list changes — that is the only coupling, and
+it matches the formal model (consensus queries the detector as an oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.effects import Effect
+from ..errors import ConfigurationError
+from ..ids import ProcessId
+from ..sim.cluster import DriverFactory, SimCluster, time_free_driver_factory
+from ..sim.faults import FaultPlan
+from ..sim.latency import LatencyModel
+from ..sim.node import SimProcess
+from .messages import Ack, Decide, Estimate, Nack, Proposal
+from .protocol import ChandraTouegConsensus, ConsensusConfig
+
+__all__ = ["ConsensusNodeDriver", "ConsensusHarness", "ConsensusRunResult"]
+
+_CONSENSUS_KINDS = (Estimate, Proposal, Ack, Nack, Decide)
+
+
+class ConsensusNodeDriver:
+    """Co-hosts a detector driver and a consensus participant."""
+
+    def __init__(
+        self,
+        process: SimProcess,
+        fd_driver,
+        consensus: ChandraTouegConsensus,
+        propose_value: Any,
+        *,
+        propose_at: float = 0.0,
+        on_decide: Callable[[ProcessId, Any, float], None] | None = None,
+    ) -> None:
+        self.process = process
+        self.fd_driver = fd_driver
+        self.consensus = consensus
+        self.propose_value = propose_value
+        self.propose_at = propose_at
+        self._on_decide = on_decide
+        self._decision_reported = False
+        # Suspicion changes unblock phase-3 waits on a crashed coordinator.
+        fd_driver.suspicion_listeners.append(self._on_suspicion_change)
+
+    # -- driver surface ----------------------------------------------------
+    def on_start(self) -> None:
+        self.fd_driver.on_start()
+        self.process.scheduler.schedule_at(
+            max(self.propose_at, self.process.scheduler.now), self._propose
+        )
+
+    def on_message(self, src: ProcessId, message: object) -> None:
+        if isinstance(message, _CONSENSUS_KINDS):
+            self._run_consensus(lambda: self.consensus.on_message(src, message))
+        else:
+            self.fd_driver.on_message(src, message)
+
+    def on_crash(self) -> None:
+        self.fd_driver.on_crash()
+
+    def on_detach(self) -> None:
+        self.fd_driver.on_detach()
+
+    def on_attach(self) -> None:
+        self.fd_driver.on_attach()
+
+    def suspects(self) -> frozenset:
+        return self.fd_driver.suspects()
+
+    # -- consensus plumbing ---------------------------------------------------
+    def _propose(self) -> None:
+        if not self.process.alive:
+            return
+        self._run_consensus(lambda: self.consensus.propose(self.propose_value))
+
+    def _on_suspicion_change(self, pid: ProcessId, suspects: frozenset) -> None:
+        self._run_consensus(self.consensus.poke)
+
+    def _run_consensus(self, step: Callable[[], list[Effect]]) -> None:
+        if not self.process.alive:
+            return
+        effects = step()
+        self.process.execute(effects)
+        if self.consensus.decided and not self._decision_reported:
+            self._decision_reported = True
+            if self._on_decide is not None:
+                self._on_decide(
+                    self.process.pid,
+                    self.consensus.decision,
+                    self.process.scheduler.now,
+                )
+
+
+@dataclass
+class ConsensusRunResult:
+    """Outcome of one simulated consensus run."""
+
+    proposals: dict[ProcessId, Any]
+    decisions: dict[ProcessId, Any] = field(default_factory=dict)
+    decision_times: dict[ProcessId, float] = field(default_factory=dict)
+    rounds_executed: dict[ProcessId, int] = field(default_factory=dict)
+    correct: frozenset = frozenset()
+
+    @property
+    def agreement_holds(self) -> bool:
+        """No two processes decided different values."""
+        return len(set(self.decisions.values())) <= 1
+
+    @property
+    def validity_holds(self) -> bool:
+        """Every decided value was somebody's proposal."""
+        proposed = set(self.proposals.values())
+        return all(value in proposed for value in self.decisions.values())
+
+    @property
+    def all_correct_decided(self) -> bool:
+        """Termination for every correct participant."""
+        return all(pid in self.decisions for pid in self.correct)
+
+    @property
+    def last_decision_time(self) -> float | None:
+        correct_times = [t for pid, t in self.decision_times.items() if pid in self.correct]
+        return max(correct_times, default=None)
+
+
+class ConsensusHarness:
+    """Build-and-run helper for consensus experiments (T4) and tests."""
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        f: int,
+        fd_driver_factory: DriverFactory | None = None,
+        latency: LatencyModel | None = None,
+        seed: int = 1,
+        fault_plan: FaultPlan | None = None,
+        proposals: dict[ProcessId, Any] | None = None,
+        propose_at: float = 0.0,
+        start_stagger: float = 0.0,
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError("consensus needs at least 2 processes")
+        fd_factory = (
+            fd_driver_factory
+            if fd_driver_factory is not None
+            else time_free_driver_factory(f)
+        )
+        membership = frozenset(range(1, n + 1))
+        self.proposals: dict[ProcessId, Any] = (
+            dict(proposals)
+            if proposals is not None
+            else {pid: f"value-{pid}" for pid in sorted(membership)}
+        )
+        missing = membership - set(self.proposals)
+        if missing:
+            raise ConfigurationError(f"missing proposals for {sorted(missing, key=repr)}")
+        self.result = ConsensusRunResult(proposals=dict(self.proposals))
+        self._participants: dict[ProcessId, ChandraTouegConsensus] = {}
+
+        def composite_factory(process: SimProcess, cluster: SimCluster):
+            fd_driver = fd_factory(process, cluster)
+            config = ConsensusConfig(process_id=process.pid, membership=membership, f=f)
+            consensus = ChandraTouegConsensus(config, fd_driver.suspects)
+            self._participants[process.pid] = consensus
+            return ConsensusNodeDriver(
+                process,
+                fd_driver,
+                consensus,
+                self.proposals[process.pid],
+                propose_at=propose_at,
+                on_decide=self._record_decision,
+            )
+
+        self.cluster = SimCluster(
+            n=n,
+            driver_factory=composite_factory,
+            latency=latency,
+            seed=seed,
+            fault_plan=fault_plan,
+            start_stagger=start_stagger,
+        )
+        self.result.correct = self.cluster.correct_processes()
+
+    def _record_decision(self, pid: ProcessId, value: Any, time: float) -> None:
+        self.result.decisions[pid] = value
+        self.result.decision_times[pid] = time
+
+    def run(self, until: float) -> ConsensusRunResult:
+        self.cluster.run(until=until)
+        self.result.rounds_executed = {
+            pid: participant.rounds_executed
+            for pid, participant in self._participants.items()
+        }
+        return self.result

@@ -1,0 +1,121 @@
+"""Chandra-Toueg failure-detector classes and the abstract detector surface.
+
+The taxonomy is the classical one from "Unreliable Failure Detectors for
+Reliable Distributed Systems" (Chandra & Toueg, JACM 1996): a class is a pair
+of a *completeness* property and an *accuracy* property.
+
+========  =====================  ==========================
+class     completeness           accuracy
+========  =====================  ==========================
+``P``     strong                 strong (perpetual)
+``S``     strong                 weak (perpetual)
+``◇P``    strong                 eventual strong
+``◇S``    strong                 eventual weak
+``Ω``     (leader oracle, equivalent to ◇S for consensus when f < n/2)
+========  =====================  ==========================
+
+The paper's algorithm implements **◇S** when the behavioral properties hold
+eventually, and its accuracy strengthens with the assumption: perpetual MP
+gives ``S``-like accuracy; responsiveness of *every* correct process gives
+``◇P``-like accuracy.  :func:`is_reducible_to` encodes the classical
+reducibility lattice so applications can assert they run on a sufficiently
+strong detector.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from ..ids import ProcessId
+
+__all__ = ["Completeness", "Accuracy", "FDClass", "FailureDetector", "is_reducible_to"]
+
+
+class Completeness(enum.Enum):
+    """Crash-detection guarantee."""
+
+    STRONG = "strong"  # every crashed process eventually suspected by every correct one
+    WEAK = "weak"  # ... by some correct one
+
+
+class Accuracy(enum.Enum):
+    """Restriction on false suspicions."""
+
+    PERPETUAL_STRONG = "perpetual strong"  # no correct process is ever suspected
+    PERPETUAL_WEAK = "perpetual weak"  # some correct process is never suspected
+    EVENTUAL_STRONG = "eventual strong"  # eventually no correct process is suspected
+    EVENTUAL_WEAK = "eventual weak"  # eventually some correct process is never suspected
+
+
+class FDClass(enum.Enum):
+    """The four classical classes plus the leader oracle Omega."""
+
+    P = "P"
+    S = "S"
+    DIAMOND_P = "◇P"
+    DIAMOND_S = "◇S"
+    OMEGA = "Ω"
+
+    @property
+    def completeness(self) -> Completeness | None:
+        if self is FDClass.OMEGA:
+            return None
+        return Completeness.STRONG
+
+    @property
+    def accuracy(self) -> Accuracy | None:
+        return {
+            FDClass.P: Accuracy.PERPETUAL_STRONG,
+            FDClass.S: Accuracy.PERPETUAL_WEAK,
+            FDClass.DIAMOND_P: Accuracy.EVENTUAL_STRONG,
+            FDClass.DIAMOND_S: Accuracy.EVENTUAL_WEAK,
+            FDClass.OMEGA: None,
+        }[self]
+
+
+#: ``a -> set of classes a is reducible to`` (i.e. ``a`` is at least as
+#: strong: an algorithm needing the target class can run on ``a``).  The
+#: ◇S/Ω equivalence holds in asynchronous systems with a majority of correct
+#: processes (Chandra-Hadzilacos-Toueg 1996).
+_REDUCTIONS: dict[FDClass, frozenset[FDClass]] = {
+    FDClass.P: frozenset({FDClass.P, FDClass.S, FDClass.DIAMOND_P, FDClass.DIAMOND_S, FDClass.OMEGA}),
+    FDClass.S: frozenset({FDClass.S, FDClass.DIAMOND_S, FDClass.OMEGA}),
+    FDClass.DIAMOND_P: frozenset({FDClass.DIAMOND_P, FDClass.DIAMOND_S, FDClass.OMEGA}),
+    FDClass.DIAMOND_S: frozenset({FDClass.DIAMOND_S, FDClass.OMEGA}),
+    FDClass.OMEGA: frozenset({FDClass.OMEGA, FDClass.DIAMOND_S}),
+}
+
+
+def is_reducible_to(source: FDClass, target: FDClass) -> bool:
+    """Whether a detector of class ``source`` can emulate class ``target``.
+
+    >>> is_reducible_to(FDClass.P, FDClass.DIAMOND_S)
+    True
+    >>> is_reducible_to(FDClass.DIAMOND_S, FDClass.P)
+    False
+    """
+    return target in _REDUCTIONS[source]
+
+
+class FailureDetector(abc.ABC):
+    """Minimal interface every detector in the library exposes.
+
+    A failure detector is a per-process oracle; ``suspects()`` is the list of
+    processes the local module currently suspects of having crashed.  The
+    output is *unreliable*: entries may come and go, and only the class
+    properties constrain its long-run behavior.
+    """
+
+    @property
+    @abc.abstractmethod
+    def process_id(self) -> ProcessId:
+        """The identifier of the process this detector module serves."""
+
+    @abc.abstractmethod
+    def suspects(self) -> frozenset[ProcessId]:
+        """The current suspect list."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable detector name used in traces and reports."""
+        return type(self).__name__

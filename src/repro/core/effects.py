@@ -1,0 +1,35 @@
+"""Effects returned by sans-I/O protocol cores.
+
+Protocol state machines never touch sockets, schedulers, or clocks.  Their
+handlers return *effects* — values describing messages to transmit — and the
+hosting substrate (the deterministic simulator or the asyncio runtime)
+executes them.  This keeps every protocol testable in isolation and
+byte-identical across substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from ..ids import ProcessId
+
+__all__ = ["Broadcast", "SendTo", "Effect"]
+
+
+@dataclass(frozen=True, slots=True)
+class Broadcast:
+    """Transmit ``message`` to every (currently reachable) neighbor."""
+
+    message: Any
+
+
+@dataclass(frozen=True, slots=True)
+class SendTo:
+    """Transmit ``message`` to the single process ``destination``."""
+
+    destination: ProcessId
+    message: Any
+
+
+Effect = Union[Broadcast, SendTo]

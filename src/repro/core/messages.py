@@ -1,0 +1,158 @@
+"""Wire messages and a transport-agnostic codec.
+
+Every message the library sends — detector queries/responses, baseline
+heartbeats, consensus ballots — is a frozen dataclass registered with the
+codec below.  The deterministic simulator passes message objects around
+directly; the UDP transport serialises them to JSON with
+:func:`encode_message` / :func:`decode_message`.
+
+The ``QUERY``/``RESPONSE`` pair implements the paper's query-response
+mechanism: a query carries the sender's ``suspected`` and ``mistake`` sets
+(as ``<id, counter>`` records) plus a round identifier so that each
+query-response pair is uniquely identified in the system (footnote 2 of the
+paper); a response echoes the round identifier so stale responses can be
+discarded or counted as late extras.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Callable, Mapping, Type, TypeVar
+
+from ..errors import TransportError
+from ..ids import ProcessId
+
+__all__ = [
+    "Query",
+    "Response",
+    "register_message",
+    "encode_message",
+    "decode_message",
+    "message_kind",
+]
+
+TaggedRecords = tuple[tuple[ProcessId, int], ...]
+
+_REGISTRY: dict[str, type] = {}
+_KIND_BY_TYPE: dict[type, str] = {}
+
+M = TypeVar("M")
+
+
+def register_message(kind: str) -> Callable[[Type[M]], Type[M]]:
+    """Class decorator registering a frozen dataclass as a wire message.
+
+    ``kind`` is the stable on-the-wire discriminator; it must be unique
+    across the whole library (core, baselines, consensus).
+    """
+
+    def _register(cls: Type[M]) -> Type[M]:
+        if not is_dataclass(cls):
+            raise TypeError(f"{cls.__name__} must be a dataclass to be a wire message")
+        if kind in _REGISTRY and _REGISTRY[kind] is not cls:
+            raise ValueError(f"message kind {kind!r} is already registered")
+        _REGISTRY[kind] = cls
+        _KIND_BY_TYPE[cls] = kind
+        return cls
+
+    return _register
+
+
+def message_kind(message: object) -> str:
+    """Return the registered wire discriminator for ``message``."""
+    try:
+        return _KIND_BY_TYPE[type(message)]
+    except KeyError:
+        raise TransportError(f"{type(message).__name__} is not a registered message") from None
+
+
+def encode_message(message: object) -> bytes:
+    """Serialise a registered message to JSON bytes."""
+    kind = message_kind(message)
+    payload = {"kind": kind}
+    for f in fields(message):  # type: ignore[arg-type]
+        payload[f.name] = _jsonify(getattr(message, f.name))
+    try:
+        return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise TransportError(f"cannot encode {kind!r} message: {exc}") from exc
+
+
+def decode_message(data: bytes) -> Any:
+    """Deserialise JSON bytes previously produced by :func:`encode_message`."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"malformed message payload: {exc}") from exc
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise TransportError("message payload lacks a 'kind' discriminator")
+    kind = payload.pop("kind")
+    cls = _REGISTRY.get(kind)
+    if cls is None:
+        raise TransportError(f"unknown message kind {kind!r}")
+    kwargs = {}
+    for f in fields(cls):
+        if f.name not in payload:
+            raise TransportError(f"{kind!r} message is missing field {f.name!r}")
+        kwargs[f.name] = _dejsonify(payload[f.name])
+    return cls(**kwargs)
+
+
+def _jsonify(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, frozenset):
+        return {"__frozenset__": sorted((_jsonify(item) for item in value), key=repr)}
+    if isinstance(value, Mapping):
+        return {"__mapping__": [[_jsonify(k), _jsonify(v)] for k, v in value.items()]}
+    return value
+
+
+def _dejsonify(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_dejsonify(item) for item in value)
+    if isinstance(value, dict):
+        if "__frozenset__" in value:
+            return frozenset(_dejsonify(item) for item in value["__frozenset__"])
+        if "__mapping__" in value:
+            return {
+                _dejsonify(k): _dejsonify(v) for k, v in value["__mapping__"]
+            }
+        return value
+    return value
+
+
+@register_message("fd.query")
+@dataclass(frozen=True, slots=True)
+class Query:
+    """``QUERY(suspected_i, mistake_i)`` — line 6 of Algorithm 1.
+
+    ``round_id`` uniquely pairs this query with its responses.  ``extra``
+    is an optional piggyback slot used by layered services (e.g. the Omega
+    leader elector gossips accusation counters through it); the core
+    protocol ignores it.
+    """
+
+    sender: ProcessId
+    round_id: int
+    suspected: TaggedRecords
+    mistakes: TaggedRecords
+    extra: tuple[tuple[str, Any], ...] = ()
+
+    def extra_payload(self) -> dict[str, Any]:
+        """The piggyback slot as a dictionary (possibly empty)."""
+        return dict(self.extra)
+
+
+@register_message("fd.response")
+@dataclass(frozen=True, slots=True)
+class Response:
+    """``RESPONSE`` — line 38 of Algorithm 1; echoes the query's round id."""
+
+    sender: ProcessId
+    round_id: int
+    extra: tuple[tuple[str, Any], ...] = ()
+
+    def extra_payload(self) -> dict[str, Any]:
+        return dict(self.extra)

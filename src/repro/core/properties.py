@@ -1,0 +1,200 @@
+"""Oracles for the behavioral properties underpinning the proof.
+
+The time-free algorithm is correct *conditionally*: completeness needs every
+process to interact at least once (the membership property — trivially true
+with a known membership), and eventual weak accuracy needs the **message
+pattern property MP**: some correct process ``p_l`` and some set ``Q`` of
+``f + 1`` processes such that eventually every query issued by each
+``p_j in Q`` receives ``p_l``'s response among the first ``n - f`` (a
+*winning* response).
+
+These oracles check the properties **over a recorded run**: they consume the
+sequence of completed query rounds (each exposing ``querier``, ``round_id``
+and ``winners`` — duck-typed, satisfied by both
+:class:`repro.sim.trace.RoundRecord` and ad-hoc test fixtures).  On a finite
+trace, "eventually always" is interpreted as "for the last ``min_suffix``
+completed rounds of each relevant querier", with ``min_suffix`` chosen by the
+experimenter.
+
+Experiments use these oracles to *label* each run: a run whose delays never
+satisfied MP is reported as outside the algorithm's assumptions rather than
+as a detector failure, mirroring how the paper frames its guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence
+
+from ..errors import ConfigurationError
+from ..ids import ProcessId
+
+__all__ = [
+    "RoundLike",
+    "MPWitness",
+    "rounds_by_querier",
+    "responder_wins_suffix",
+    "find_mp_witness",
+    "responsive_processes",
+    "winning_ratio",
+]
+
+
+class RoundLike(Protocol):
+    """Anything describing one completed query round.
+
+    ``winners`` is the strict first-``n - f`` responder set (the paper's
+    definition of a *winning* response); ``responders`` — required only by
+    the non-strict checkers — is the full ``rec_from`` of the terminated
+    query, including extra responses harvested during the pacing grace.
+    Suspicions are raised from ``rec_from``, so accuracy properties couple
+    to the non-strict set while the MP *order* analysis uses the strict one.
+    """
+
+    querier: ProcessId
+    round_id: int
+    winners: frozenset[ProcessId]
+
+
+@dataclass(frozen=True, slots=True)
+class MPWitness:
+    """Evidence that MP held on the observed run.
+
+    ``responder`` is the eventually-winning correct process ``p_l``;
+    ``queriers`` the witnessed ``Q`` (``|Q| >= f + 1``); ``suffix`` the
+    number of trailing rounds per querier over which the win was checked.
+    """
+
+    responder: ProcessId
+    queriers: frozenset[ProcessId]
+    suffix: int
+
+
+def rounds_by_querier(
+    rounds: Iterable[RoundLike],
+) -> dict[ProcessId, list[RoundLike]]:
+    """Group completed rounds per issuing process, preserving order."""
+    grouped: dict[ProcessId, list[RoundLike]] = {}
+    for record in rounds:
+        grouped.setdefault(record.querier, []).append(record)
+    return grouped
+
+
+def responder_wins_suffix(
+    querier_rounds: Sequence[RoundLike],
+    responder: ProcessId,
+    *,
+    suffix: int,
+    strict: bool = True,
+) -> bool:
+    """True iff ``responder`` won each of the last ``suffix`` rounds.
+
+    A querier with fewer than ``suffix`` completed rounds never satisfies the
+    check — with no evidence we refuse to certify the property.  With
+    ``strict=False`` a round counts as won when the responder made it into
+    the terminated query's full ``rec_from`` (see :class:`RoundLike`).
+    """
+    if suffix < 1:
+        raise ConfigurationError(f"suffix must be >= 1, got {suffix}")
+    if len(querier_rounds) < suffix:
+        return False
+    return all(
+        responder in _winning_set(record, strict)
+        for record in querier_rounds[-suffix:]
+    )
+
+
+def _winning_set(record: RoundLike, strict: bool) -> frozenset[ProcessId]:
+    if strict:
+        return record.winners
+    return frozenset(record.responders)  # type: ignore[attr-defined]
+
+
+def find_mp_witness(
+    rounds: Iterable[RoundLike],
+    *,
+    f: int,
+    correct: Iterable[ProcessId],
+    min_suffix: int = 1,
+    scope: int | None = None,
+) -> MPWitness | None:
+    """Search the run for an MP witness; ``None`` if the property failed.
+
+    For every correct candidate ``p_l``, collect the queriers whose last
+    ``min_suffix`` rounds were all won by ``p_l``; the property holds if the
+    collection reaches ``scope`` processes (the querier set may include
+    ``p_l`` itself — a process always wins its own queries).
+
+    ``scope`` defaults to ``f + 1`` — plain MP, giving ◇S.  Smaller scopes
+    characterise the *limited-scope* accuracy classes of this paper family
+    (◇S_x: eventually some correct process is not suspected by ``x``
+    processes); larger scopes strengthen toward the global variant that
+    supports eventual leader election.
+    """
+    if scope is None:
+        scope = f + 1
+    if scope < 1:
+        raise ConfigurationError(f"scope must be >= 1, got {scope}")
+    grouped = rounds_by_querier(rounds)
+    correct_set = frozenset(correct)
+    for candidate in sorted(correct_set, key=repr):
+        queriers = frozenset(
+            querier
+            for querier, qrounds in grouped.items()
+            if responder_wins_suffix(qrounds, candidate, suffix=min_suffix)
+        )
+        if len(queriers) >= scope:
+            return MPWitness(responder=candidate, queriers=queriers, suffix=min_suffix)
+    return None
+
+
+def responsive_processes(
+    rounds: Iterable[RoundLike],
+    *,
+    correct: Iterable[ProcessId],
+    min_suffix: int = 1,
+    strict: bool = True,
+) -> frozenset[ProcessId]:
+    """Correct processes that eventually won *every* querier's rounds (RP).
+
+    This is the stronger per-process responsiveness property: if it holds
+    for every correct process the algorithm's accuracy strengthens to
+    ◇P-like behavior (no correct process is eventually suspected).  For
+    that accuracy coupling use ``strict=False``: suspicion is raised from
+    the full ``rec_from`` of a terminated query, not from the strict
+    first-``n - f`` winner set.
+    """
+    grouped = rounds_by_querier(rounds)
+    if not grouped:
+        return frozenset()
+    correct_set = frozenset(correct)
+    result = set()
+    for candidate in correct_set:
+        if all(
+            responder_wins_suffix(qrounds, candidate, suffix=min_suffix, strict=strict)
+            for qrounds in grouped.values()
+        ):
+            result.add(candidate)
+    return frozenset(result)
+
+
+def winning_ratio(
+    rounds: Iterable[RoundLike],
+    responder: ProcessId,
+    *,
+    querier: ProcessId | None = None,
+) -> float:
+    """Fraction of (optionally: one querier's) rounds won by ``responder``.
+
+    A diagnostic used by the MP-sensitivity experiment (F3): accuracy should
+    degrade as this ratio decays below 1 for every candidate responder.
+    """
+    relevant = [
+        record
+        for record in rounds
+        if querier is None or record.querier == querier
+    ]
+    if not relevant:
+        return 0.0
+    wins = sum(1 for record in relevant if responder in record.winners)
+    return wins / len(relevant)

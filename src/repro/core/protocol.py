@@ -1,0 +1,297 @@
+"""The time-free query-response failure detector (the paper's Algorithm 1).
+
+``TimeFreeDetector`` is a sans-I/O state machine.  One *query round* is:
+
+1. :meth:`TimeFreeDetector.start_round` — emit
+   ``QUERY(suspected_i, mistake_i)`` to every other process (line 6).  The
+   process's own response is accounted immediately, matching the paper's
+   assumption that a node receives its own query and its own response is
+   always among the first ``n - f``.
+2. Feed incoming :class:`~repro.core.messages.Response` messages to
+   :meth:`TimeFreeDetector.on_response` until
+   :meth:`TimeFreeDetector.quorum_reached` (line 7: wait until responses from
+   at least ``n - f`` distinct processes).  The hosting driver may keep
+   collecting *extra* responses past the quorum (the paper's evaluation adds
+   a pacing delay here, which shrinks false suspicions without affecting
+   correctness).
+3. :meth:`TimeFreeDetector.finish_round` — every known, unsuspected process
+   that failed to respond becomes suspected (lines 8-15) and the round
+   counter advances (line 16).
+
+Independently, :meth:`TimeFreeDetector.on_query` implements task T2: merge
+the newer suspicion/mistake records from a received query (refuting
+suspicions that name the local process) and answer with a ``RESPONSE``.
+
+Nothing here reads a clock or sets a timer: detection is driven purely by
+the message exchange pattern, which is the paper's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ..errors import ProtocolError
+from ..ids import ProcessId, validate_membership
+from .classes import FailureDetector
+from .effects import Broadcast, SendTo
+from .messages import Query, Response
+from .tags import MergeOutcome, SuspicionState
+
+__all__ = ["DetectorConfig", "QueryRoundOutcome", "TimeFreeDetector"]
+
+#: Optional piggyback hooks: a provider returns a JSON-safe dict attached to
+#: outgoing messages; a consumer receives ``(sender, payload)`` for incoming
+#: ones.  Used by :mod:`repro.core.omega`; the core protocol ignores content.
+ExtraProvider = Callable[[], dict[str, Any]]
+ExtraConsumer = Callable[[ProcessId, dict[str, Any]], None]
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Static configuration of a :class:`TimeFreeDetector`.
+
+    ``membership`` is the full process set Pi (known a priori in the DSN 2003
+    model) and ``f`` the maximum number of crashes, with ``f < n``.  The
+    response quorum is ``n - f``.
+    """
+
+    process_id: ProcessId
+    membership: frozenset[ProcessId]
+    f: int
+
+    def __post_init__(self) -> None:
+        members = validate_membership(self.membership, process_id=self.process_id, f=self.f)
+        object.__setattr__(self, "membership", members)
+
+    @property
+    def n(self) -> int:
+        return len(self.membership)
+
+    @property
+    def quorum(self) -> int:
+        """``n - f``: responses required to terminate a query (line 7)."""
+        return self.n - self.f
+
+    @classmethod
+    def for_process(
+        cls, process_id: ProcessId, membership: Iterable[ProcessId], f: int
+    ) -> "DetectorConfig":
+        return cls(process_id=process_id, membership=frozenset(membership), f=f)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRoundOutcome:
+    """Result of one completed query round (task T1 body)."""
+
+    round_id: int
+    #: Responders in arrival order; the issuing process is always first.
+    responders: tuple[ProcessId, ...]
+    #: The first ``n - f`` responders — the *winning* responses of this round.
+    winners: frozenset[ProcessId]
+    #: Processes newly suspected at the end of this round (line 14).
+    newly_suspected: tuple[ProcessId, ...]
+    #: Value of ``counter_i`` after line 16.
+    counter_after: int
+    #: Full suspect list after the round.
+    suspects_after: frozenset[ProcessId]
+
+
+class TimeFreeDetector(FailureDetector):
+    """Sans-I/O implementation of the paper's Algorithm 1 (classes ◇S).
+
+    The detector must be *driven*: the substrate calls :meth:`start_round`,
+    routes messages to :meth:`on_query` / :meth:`on_response`, decides when
+    the round is over (at quorum, or later if pacing) and calls
+    :meth:`finish_round`.  See :class:`repro.sim.node.QueryResponseDriver`
+    and :class:`repro.runtime.service.DetectorService`.
+    """
+
+    def __init__(
+        self,
+        config: DetectorConfig,
+        *,
+        extra_provider: ExtraProvider | None = None,
+        extra_consumer: ExtraConsumer | None = None,
+    ) -> None:
+        self._config = config
+        self._state = SuspicionState(owner=config.process_id)
+        self._extra_provider = extra_provider
+        self._extra_consumer = extra_consumer
+        self._round_id = 0
+        self._collecting = False
+        self._responders: list[ProcessId] = []
+        self._responder_set: set[ProcessId] = set()
+        self._rounds_completed = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def process_id(self) -> ProcessId:
+        return self._config.process_id
+
+    @property
+    def config(self) -> DetectorConfig:
+        return self._config
+
+    @property
+    def counter(self) -> int:
+        """Current value of ``counter_i``."""
+        return self._state.counter
+
+    @property
+    def round_id(self) -> int:
+        """Identifier of the most recently started query round (0 = none)."""
+        return self._round_id
+
+    @property
+    def rounds_completed(self) -> int:
+        return self._rounds_completed
+
+    @property
+    def collecting(self) -> bool:
+        """Whether a query round is currently awaiting responses."""
+        return self._collecting
+
+    @property
+    def state(self) -> SuspicionState:
+        """The live suspicion/mistake state (read-mostly; owned by the detector)."""
+        return self._state
+
+    def suspects(self) -> frozenset[ProcessId]:
+        return self._state.suspects()
+
+    def mistakes(self) -> frozenset[ProcessId]:
+        """Processes currently recorded as previously-wrongly-suspected."""
+        return self._state.mistakes.ids()
+
+    # ------------------------------------------------------------------
+    # task T1: query rounds
+    # ------------------------------------------------------------------
+    def start_round(self) -> Broadcast:
+        """Begin a query round; returns the ``QUERY`` broadcast (line 6)."""
+        if self._collecting:
+            raise ProtocolError(
+                f"{self.process_id!r}: round {self._round_id} is still collecting; "
+                "a node issues a new query only after the previous one terminated"
+            )
+        self._round_id += 1
+        self._collecting = True
+        # The node hears its own query and its own response is always among
+        # the first n - f (Section 4.1), so it is accounted immediately.
+        self._responders = [self.process_id]
+        self._responder_set = {self.process_id}
+        query = Query(
+            sender=self.process_id,
+            round_id=self._round_id,
+            suspected=self._state.suspected.snapshot(),
+            mistakes=self._state.mistakes.snapshot(),
+            extra=self._make_extra(),
+        )
+        return Broadcast(query)
+
+    def on_response(self, response: Response) -> bool:
+        """Account a ``RESPONSE``; returns whether it counted for this round.
+
+        Responses to earlier (already finished) queries and duplicate
+        responses are ignored — each query-response pair is uniquely
+        identified by ``round_id``.
+        """
+        self._consume_extra(response.sender, response.extra_payload())
+        if not self._collecting or response.round_id != self._round_id:
+            return False
+        if response.sender in self._responder_set:
+            return False
+        self._responder_set.add(response.sender)
+        self._responders.append(response.sender)
+        return True
+
+    def quorum_reached(self) -> bool:
+        """Line 7: at least ``n - f`` distinct responses received."""
+        return self._collecting and len(self._responders) >= self._config.quorum
+
+    def finish_round(self) -> QueryRoundOutcome:
+        """Close the round: detect new suspicions (lines 8-15), bump counter.
+
+        Raises :class:`ProtocolError` unless the quorum was reached — the
+        protocol's wait at line 7 is blocking by design; if fewer than
+        ``n - f`` processes are alive the round never terminates (the model
+        guarantees at most ``f`` crashes).
+        """
+        if not self._collecting:
+            raise ProtocolError(f"{self.process_id!r}: no round in progress")
+        if not self.quorum_reached():
+            raise ProtocolError(
+                f"{self.process_id!r}: round {self._round_id} has "
+                f"{len(self._responders)}/{self._config.quorum} responses; "
+                "cannot terminate the query before the quorum (line 7)"
+            )
+        rec_from = frozenset(self._responder_set)
+        newly: list[ProcessId] = []
+        # Line 9: known processes (here: the static membership) that did not
+        # respond and are not already suspected become suspected.
+        for pj in sorted(self._config.membership - rec_from, key=repr):
+            result = self._state.suspect_locally(pj)
+            if result.outcome is MergeOutcome.SUSPICION_ADOPTED:
+                newly.append(pj)
+        counter_after = self._state.end_round()
+        winners = frozenset(self._responders[: self._config.quorum])
+        outcome = QueryRoundOutcome(
+            round_id=self._round_id,
+            responders=tuple(self._responders),
+            winners=winners,
+            newly_suspected=tuple(newly),
+            counter_after=counter_after,
+            suspects_after=self.suspects(),
+        )
+        self._collecting = False
+        self._rounds_completed += 1
+        return outcome
+
+    def abort_round(self) -> None:
+        """Abandon the in-progress round without drawing conclusions.
+
+        Not part of the paper's pseudo-code; used by the mobility driver when
+        a node detaches mid-round (a moving node stops executing) and by
+        orderly shutdown.
+        """
+        self._collecting = False
+        self._responders = []
+        self._responder_set = set()
+
+    # ------------------------------------------------------------------
+    # task T2: serving queries
+    # ------------------------------------------------------------------
+    def on_query(self, query: Query) -> SendTo | None:
+        """Handle a received ``QUERY`` (lines 19-38); returns the response.
+
+        Merging is done *before* responding, so the response acknowledges a
+        state that already integrated the sender's information.
+        """
+        if query.sender == self.process_id:
+            return None  # own broadcast echoed back; carries no new information
+        self._consume_extra(query.sender, query.extra_payload())
+        for pid, tag in query.suspected:
+            self._state.merge_remote_suspicion(pid, tag)
+        for pid, tag in query.mistakes:
+            self._state.merge_remote_mistake(pid, tag)
+        response = Response(
+            sender=self.process_id,
+            round_id=query.round_id,
+            extra=self._make_extra(),
+        )
+        return SendTo(query.sender, response)
+
+    # ------------------------------------------------------------------
+    # piggyback plumbing
+    # ------------------------------------------------------------------
+    def _make_extra(self) -> tuple[tuple[str, Any], ...]:
+        if self._extra_provider is None:
+            return ()
+        payload = self._extra_provider()
+        return tuple(sorted(payload.items()))
+
+    def _consume_extra(self, sender: ProcessId, payload: dict[str, Any]) -> None:
+        if self._extra_consumer is not None and payload:
+            self._extra_consumer(sender, payload)

@@ -1,0 +1,247 @@
+"""Counter-tagged suspicion and mistake bookkeeping.
+
+The protocol tags every piece of information ("process ``x`` is suspected" /
+"suspecting ``x`` was a mistake") with the value of the emitting process's
+round counter.  A receiver only adopts information that is *newer* than what
+it already holds, which prevents stale suspicions or stale refutations from
+circulating forever.  The exact freshness rules (from Algorithm 1 of the
+paper) are:
+
+* a received **suspicion** ``<x, c>`` is adopted iff ``x`` is unknown to both
+  local sets, or the locally-stored tag for ``x`` is **strictly smaller**
+  than ``c``;
+* a received **mistake** ``<x, c>`` is adopted iff ``x`` is unknown, or the
+  locally-stored tag is **smaller or equal** to ``c`` — i.e. on a tie between
+  a suspicion and a mistake, *the mistake wins* (the paper gives precedence
+  to mistakes on equal counters);
+* a process that sees **itself** suspected never adopts the suspicion:
+  it *refutes* it by advancing its counter past the accusation tag and
+  recording a mistake about itself.
+
+:class:`TaggedSet` is the ``Add``-semantics set of ``<id, counter>`` pairs
+used for both ``suspected_i`` and ``mistake_i``; :class:`SuspicionState`
+bundles the two sets with the round counter and implements the merge rules so
+that every detector variant (full-membership core, partial-connectivity
+extension) shares one audited implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..ids import ProcessId
+
+__all__ = ["TaggedSet", "MergeOutcome", "MergeResult", "SuspicionState"]
+
+
+class TaggedSet:
+    """A set of ``<process id, counter tag>`` records with ``Add`` semantics.
+
+    ``Add(set, <id, counter>)`` in the paper *replaces* any existing record
+    for ``id``; a ``TaggedSet`` therefore behaves as a mapping from process
+    id to its most recently stored tag.
+    """
+
+    __slots__ = ("_tags",)
+
+    def __init__(self, items: Mapping[ProcessId, int] | Iterable[tuple[ProcessId, int]] = ()):
+        if isinstance(items, Mapping):
+            self._tags: dict[ProcessId, int] = dict(items)
+        else:
+            self._tags = {pid: tag for pid, tag in items}
+
+    # -- mutation ---------------------------------------------------------
+    def add(self, pid: ProcessId, tag: int) -> None:
+        """Store ``<pid, tag>``, replacing any existing record for ``pid``."""
+        self._tags[pid] = tag
+
+    def discard(self, pid: ProcessId) -> bool:
+        """Remove the record for ``pid`` if present; return whether it was."""
+        return self._tags.pop(pid, None) is not None
+
+    def clear(self) -> None:
+        self._tags.clear()
+
+    # -- queries ----------------------------------------------------------
+    def tag_of(self, pid: ProcessId) -> int | None:
+        """Return the stored tag for ``pid`` or ``None``."""
+        return self._tags.get(pid)
+
+    def ids(self) -> frozenset[ProcessId]:
+        """The set of process ids with a record."""
+        return frozenset(self._tags)
+
+    def snapshot(self) -> tuple[tuple[ProcessId, int], ...]:
+        """An immutable copy suitable for embedding in a wire message."""
+        return tuple(sorted(self._tags.items(), key=lambda item: repr(item[0])))
+
+    def copy(self) -> "TaggedSet":
+        return TaggedSet(self._tags)
+
+    def max_tag(self) -> int | None:
+        """The largest stored tag, or ``None`` when empty."""
+        return max(self._tags.values(), default=None)
+
+    # -- dunder -----------------------------------------------------------
+    def __contains__(self, pid: ProcessId) -> bool:
+        return pid in self._tags
+
+    def __iter__(self) -> Iterator[tuple[ProcessId, int]]:
+        return iter(sorted(self._tags.items(), key=lambda item: repr(item[0])))
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TaggedSet):
+            return self._tags == other._tags
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"<{pid!r},{tag}>" for pid, tag in self)
+        return f"TaggedSet({{{inner}}})"
+
+
+class MergeOutcome(enum.Enum):
+    """How a received ``<id, counter>`` record affected the local state."""
+
+    #: The record was stale (an equal-or-newer record is already held).
+    IGNORED = "ignored"
+    #: A remote suspicion was adopted into ``suspected``.
+    SUSPICION_ADOPTED = "suspicion_adopted"
+    #: A remote suspicion named *us*; we refuted it with a fresh mistake.
+    SELF_REFUTED = "self_refuted"
+    #: A remote mistake was adopted into ``mistakes``.
+    MISTAKE_ADOPTED = "mistake_adopted"
+
+
+@dataclass(frozen=True, slots=True)
+class MergeResult:
+    """Outcome of merging one received record into a :class:`SuspicionState`."""
+
+    subject: ProcessId
+    outcome: MergeOutcome
+    #: Tag now stored for ``subject`` (``None`` when the record was ignored).
+    stored_tag: int | None = None
+
+
+@dataclass
+class SuspicionState:
+    """``suspected_i`` + ``mistake_i`` + ``counter_i`` with the merge rules.
+
+    The class is substrate-agnostic and purely in-memory; detectors own one
+    instance and drive it from their message handlers.
+    """
+
+    owner: ProcessId
+    suspected: TaggedSet = field(default_factory=TaggedSet)
+    mistakes: TaggedSet = field(default_factory=TaggedSet)
+    counter: int = 0
+
+    # -- local suspicion (task T1, lines 9-15) -----------------------------
+    def suspect_locally(self, pid: ProcessId) -> MergeResult:
+        """Suspect ``pid`` because it missed our response quorum.
+
+        Implements lines 9-15 of Algorithm 1: only applies to processes not
+        already suspected; an existing mistake record is consumed and the
+        counter advanced past its tag so that the new suspicion supersedes
+        the old refutation.
+        """
+        if pid == self.owner:
+            raise ValueError("a process never suspects itself locally")
+        if pid in self.suspected:
+            return MergeResult(pid, MergeOutcome.IGNORED, self.suspected.tag_of(pid))
+        mistake_tag = self.mistakes.tag_of(pid)
+        if mistake_tag is not None:
+            self.counter = max(self.counter, mistake_tag + 1)
+            self.mistakes.discard(pid)
+        self.suspected.add(pid, self.counter)
+        return MergeResult(pid, MergeOutcome.SUSPICION_ADOPTED, self.counter)
+
+    def end_round(self) -> int:
+        """Increment the round counter (line 16) and return its new value."""
+        self.counter += 1
+        return self.counter
+
+    # -- remote information (task T2) --------------------------------------
+    def merge_remote_suspicion(self, pid: ProcessId, tag: int) -> MergeResult:
+        """Merge one record of a received ``suspected_j`` set (lines 21-31)."""
+        if not self._suspicion_is_newer(pid, tag):
+            return MergeResult(pid, MergeOutcome.IGNORED, self._known_tag(pid))
+        if pid == self.owner:
+            # Lines 23-25: we are wrongly suspected; refute with a mistake
+            # tagged past the accusation.
+            self.counter = max(self.counter, tag + 1)
+            self.mistakes.add(self.owner, self.counter)
+            self.suspected.discard(self.owner)
+            return MergeResult(pid, MergeOutcome.SELF_REFUTED, self.counter)
+        # Lines 27-28.
+        self.suspected.add(pid, tag)
+        self.mistakes.discard(pid)
+        return MergeResult(pid, MergeOutcome.SUSPICION_ADOPTED, tag)
+
+    def merge_remote_mistake(self, pid: ProcessId, tag: int) -> MergeResult:
+        """Merge one record of a received ``mistake_j`` set (lines 32-37)."""
+        if not self._mistake_is_newer(pid, tag):
+            return MergeResult(pid, MergeOutcome.IGNORED, self._known_tag(pid))
+        # Lines 34-35.
+        self.mistakes.add(pid, tag)
+        self.suspected.discard(pid)
+        return MergeResult(pid, MergeOutcome.MISTAKE_ADOPTED, tag)
+
+    # -- freshness predicates ----------------------------------------------
+    def _known_tag(self, pid: ProcessId) -> int | None:
+        suspected_tag = self.suspected.tag_of(pid)
+        if suspected_tag is not None:
+            return suspected_tag
+        return self.mistakes.tag_of(pid)
+
+    def _suspicion_is_newer(self, pid: ProcessId, tag: int) -> bool:
+        """Line 22: unknown, or strictly newer than the stored tag."""
+        known = self._known_tag(pid)
+        return known is None or known < tag
+
+    def _mistake_is_newer(self, pid: ProcessId, tag: int) -> bool:
+        """Line 33: unknown, or newer-or-equal — with one refinement.
+
+        The ``<=`` in line 33 lets a mistake displace a *suspicion* carrying
+        the same counter (ties go to the mistake, as the proof stipulates).
+        Read literally it would also re-adopt a byte-identical mistake
+        record, but Lemma 4's proof explicitly relies on a repeated mistake
+        *failing* the predicate (otherwise the mobility rule at lines 36-38
+        would re-evict a reconnected node forever).  So: ties beat
+        suspicions, but an equal-or-older tag against an existing *mistake*
+        is stale.
+        """
+        suspected_tag = self.suspected.tag_of(pid)
+        if suspected_tag is not None:
+            return suspected_tag <= tag
+        mistake_tag = self.mistakes.tag_of(pid)
+        if mistake_tag is not None:
+            return mistake_tag < tag
+        return True
+
+    # -- views --------------------------------------------------------------
+    def suspects(self) -> frozenset[ProcessId]:
+        """The failure-detector output: ids currently suspected."""
+        return self.suspected.ids()
+
+    def invariant_violations(self) -> list[str]:
+        """Internal invariants; an empty list means the state is healthy.
+
+        * a process never holds *itself* in its ``suspected`` set (it refutes
+          instead),
+        * ``suspected`` and ``mistakes`` are disjoint,
+        * no stored tag exceeds the local counter once the counter has been
+          advanced past it (tags are only ever produced at-or-below the
+          issuing process's counter).
+        """
+        problems: list[str] = []
+        if self.owner in self.suspected:
+            problems.append(f"{self.owner!r} suspects itself")
+        overlap = self.suspected.ids() & self.mistakes.ids()
+        if overlap:
+            problems.append(f"suspected/mistakes overlap: {sorted(overlap, key=repr)}")
+        return problems

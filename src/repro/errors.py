@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError``, ``ValueError`` from the standard
+library, ...) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "MembershipError",
+    "ProtocolError",
+    "SimulationError",
+    "TopologyError",
+    "TransportError",
+    "ConsensusError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid parameters."""
+
+
+class MembershipError(ConfigurationError):
+    """A process identifier is not part of the configured membership."""
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine was driven in an illegal order.
+
+    For instance finishing a query round that was never started, or feeding a
+    response to a detector that is not currently collecting responses.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was misused or reached an illegal state."""
+
+
+class TopologyError(ReproError):
+    """A network topology does not satisfy a required structural property."""
+
+
+class TransportError(ReproError):
+    """An asyncio transport failed to deliver or encode a message."""
+
+
+class ConsensusError(ReproError):
+    """A consensus participant was driven into an illegal state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

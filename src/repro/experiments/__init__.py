@@ -1,0 +1,13 @@
+"""Experiment harness: every table and figure, regenerable from code.
+
+One module per experiment id (see DESIGN.md Section 3).  Each exposes a
+``Params`` dataclass (with quick defaults; pass ``full()`` presets for
+paper-scale runs) and a ``run(params) -> Table`` function that returns the
+same rows/series the evaluation reports.  ``python -m
+repro.experiments.run_all`` prints everything and is the source of
+EXPERIMENTS.md's measured numbers.
+"""
+
+from .report import Table
+
+__all__ = ["Table"]

@@ -1,0 +1,165 @@
+"""F2 — accuracy under asynchrony: who keeps an accuracy anchor?
+
+No process ever crashes in these runs, so every suspicion is false.  One
+process (p1) is *responsive* in the paper's RP sense: its links are 8x
+faster than everyone else's (:class:`~repro.sim.latency.BiasedLatency`).
+◇S only promises that *some* correct process is eventually never suspected
+— that anchor is what consensus liveness consumes — so the decisive metric
+is the **responsive process's** false suspicions, not the total (transient
+suspicions of slow processes are by-design and self-correcting in the
+time-free protocol).
+
+* **Regime shift** (:func:`run_regime_shift`): all delays multiply by a
+  factor mid-run.  Rescaling preserves response *order*, so the responsive
+  process keeps winning quorums and the time-free detector never suspects
+  it, at any factor.  Fixed timeouts are calibrated in absolute time: once
+  the inflated delays approach Θ, even the responsive process's heartbeats
+  miss the deadline — the anchor is lost.  Phi-accrual re-adapts after its
+  window refills but is wrong during the transition.
+* **Variance sweep** (:func:`run_variance_sweep`): log-normal delays with
+  growing σ at a fixed median; same metrics, tail-driven instead of
+  shift-driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import accuracy_stabilization, mistake_stats
+from ..sim.latency import (
+    BiasedLatency,
+    ExponentialLatency,
+    LatencyModel,
+    LogNormalLatency,
+    RegimeShiftLatency,
+)
+from .report import Table
+from .scenarios import HEARTBEAT, PHI, TIME_FREE, DetectorSetup, run_scenario
+
+__all__ = ["F2Params", "run", "run_regime_shift", "run_variance_sweep"]
+
+
+@dataclass(frozen=True)
+class F2Params:
+    n: int = 15
+    f: int = 3
+    horizon: float = 60.0
+    responsive: int = 1
+    responsive_speedup: float = 8.0
+    base_delay_mean: float = 0.005
+    shift_at: float = 20.0
+    shift_factors: tuple[float, ...] = (1.0, 50.0, 400.0, 2000.0)
+    sigmas: tuple[float, ...] = (0.5, 1.5, 2.5)
+    delay_median: float = 0.005
+    seed: int = 1
+
+    @classmethod
+    def full(cls) -> "F2Params":
+        return cls(
+            n=30,
+            f=6,
+            horizon=120.0,
+            shift_factors=(1.0, 10.0, 50.0, 200.0, 400.0, 1000.0, 2000.0),
+            sigmas=(0.5, 1.0, 1.5, 2.0, 2.5, 3.0),
+        )
+
+
+_SETUPS = (
+    TIME_FREE.with_(grace=1.0, label="time-free"),
+    HEARTBEAT.with_(period=1.0, timeout=2.0, label="heartbeat Θ=2s"),
+    PHI.with_(period=1.0, label="phi-accrual t=8"),
+)
+
+
+def _biased(params: F2Params, base: LatencyModel) -> LatencyModel:
+    return BiasedLatency(
+        base,
+        favored=frozenset({params.responsive}),
+        speedup=params.responsive_speedup,
+        bidirectional=True,
+    )
+
+
+def _measure(setup: DetectorSetup, params: F2Params, latency: LatencyModel):
+    cluster = run_scenario(
+        setup=setup,
+        n=params.n,
+        f=params.f,
+        horizon=params.horizon,
+        latency=latency,
+        seed=params.seed,
+    )
+    correct = cluster.correct_processes()
+    total = mistake_stats(cluster.trace, correct, horizon=params.horizon)
+    responsive_suspicions = sum(
+        len(cluster.trace.suspicion_intervals(obs, params.responsive, horizon=params.horizon))
+        for obs in correct
+        if obs != params.responsive
+    )
+    stabilization = accuracy_stabilization(cluster.trace, correct, horizon=params.horizon)
+    anchor_ok = stabilization[params.responsive] is not None
+    return total, responsive_suspicions, anchor_ok
+
+
+def _headers() -> list[str]:
+    return [
+        "stress",
+        "detector",
+        "total false susp.",
+        "responsive-node false susp.",
+        "responsive node clear at end",
+    ]
+
+
+def run_regime_shift(params: F2Params = F2Params()) -> Table:
+    table = Table(
+        title=(
+            f"F2a: delay regime shift at t={params.shift_at}s "
+            f"(n={params.n}, no crashes, p{params.responsive} responsive 8x)"
+        ),
+        headers=_headers(),
+    )
+    for factor in params.shift_factors:
+        latency = _biased(
+            params,
+            RegimeShiftLatency(
+                ExponentialLatency(params.base_delay_mean),
+                shift_at=params.shift_at,
+                factor=factor,
+            ),
+        )
+        for setup in _SETUPS:
+            total, responsive, anchor_ok = _measure(setup, params, latency)
+            table.add_row(f"x{factor:g}", setup.label, total.count, responsive, anchor_ok)
+    table.add_note(
+        "delay rescaling preserves response order: the time-free detector "
+        "never suspects the responsive node at any factor; fixed timeouts "
+        "lose the anchor once inflated delays reach Θ."
+    )
+    table.add_note(
+        "total counts include by-design transient suspicions of slow nodes "
+        "(self-correcting via the mistake mechanism); ◇S consumers only need "
+        "the anchor column."
+    )
+    return table
+
+
+def run_variance_sweep(params: F2Params = F2Params()) -> Table:
+    table = Table(
+        title=(
+            f"F2b: delay variance sweep (log-normal, median="
+            f"{params.delay_median * 1000:g} ms, n={params.n}, no crashes, "
+            f"p{params.responsive} responsive 8x)"
+        ),
+        headers=_headers(),
+    )
+    for sigma in params.sigmas:
+        latency = _biased(params, LogNormalLatency(params.delay_median, sigma))
+        for setup in _SETUPS:
+            total, responsive, anchor_ok = _measure(setup, params, latency)
+            table.add_row(f"σ={sigma:g}", setup.label, total.count, responsive, anchor_ok)
+    return table
+
+
+def run(params: F2Params = F2Params()) -> list[Table]:
+    return [run_regime_shift(params), run_variance_sweep(params)]

@@ -1,0 +1,78 @@
+"""Regenerate every table and figure: ``python -m repro.experiments.run_all``.
+
+``--full`` runs paper-scale parameters (minutes); the default quick presets
+finish in well under a minute and show the same shapes.  ``--only T1,F2``
+restricts to a comma-separated subset.  ``--markdown`` emits
+EXPERIMENTS.md-ready tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    a1_grace_ablation,
+    a2_loss_resilience,
+    e1_density,
+    e2_mobility,
+    f1_detection_cdf,
+    f2_delay_variance,
+    f3_mp_sensitivity,
+    t1_detection_vs_n,
+    t2_impact_of_f,
+    t3_message_load,
+    t4_consensus,
+)
+from .report import Table
+
+EXPERIMENTS = {
+    "T1": (t1_detection_vs_n, "T1Params"),
+    "T2": (t2_impact_of_f, "T2Params"),
+    "T3": (t3_message_load, "T3Params"),
+    "T4": (t4_consensus, "T4Params"),
+    "F1": (f1_detection_cdf, "F1Params"),
+    "F2": (f2_delay_variance, "F2Params"),
+    "F3": (f3_mp_sensitivity, "F3Params"),
+    "E1": (e1_density, "E1Params"),
+    "E2": (e2_mobility, "E2Params"),
+    "A1": (a1_grace_ablation, "A1Params"),
+    "A2": (a2_loss_resilience, "A2Params"),
+}
+
+
+def run_experiment(exp_id: str, *, full: bool = False) -> list[Table]:
+    """Run one experiment by id; returns its table(s)."""
+    module, params_name = EXPERIMENTS[exp_id]
+    params_cls = getattr(module, params_name)
+    params = params_cls.full() if full else params_cls()
+    result = module.run(params)
+    return result if isinstance(result, list) else [result]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale parameters")
+    parser.add_argument("--only", default="", help="comma-separated experiment ids")
+    parser.add_argument("--markdown", action="store_true", help="markdown output")
+    args = parser.parse_args(argv)
+    wanted = [e.strip().upper() for e in args.only.split(",") if e.strip()] or list(
+        EXPERIMENTS
+    )
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}; choose from {list(EXPERIMENTS)}")
+    for exp_id in wanted:
+        started = time.perf_counter()
+        tables = run_experiment(exp_id, full=args.full)
+        elapsed = time.perf_counter() - started
+        for table in tables:
+            print(table.render_markdown() if args.markdown else table.render())
+            print()
+        print(f"[{exp_id} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

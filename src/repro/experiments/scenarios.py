@@ -1,0 +1,140 @@
+"""Canonical scenario builders shared by every experiment and benchmark.
+
+A scenario is: a topology, a latency model, a fault plan, and one detector
+deployed on every node.  :func:`run_scenario` assembles the cluster, runs it
+to the horizon and returns it (trace included).  Detector selection is by
+:class:`DetectorSetup`, so experiment tables can iterate over comparable
+configurations of the time-free detector and each baseline.
+
+Parameter conventions follow the paper family's evaluation: Δ (``period`` /
+query ``grace``) defaults to 1 s, Θ (``timeout``) to 2 s, and the one-hop
+delay δ averages 1 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from ..ids import ProcessId
+from ..sim.cluster import DriverFactory, SimCluster, timed_driver_factory, time_free_driver_factory
+from ..sim.faults import FaultPlan
+from ..sim.latency import ExponentialLatency, LatencyModel
+from ..sim.node import QueryPacing
+from ..sim.topology import Topology
+
+__all__ = ["DetectorSetup", "run_scenario", "TIME_FREE", "HEARTBEAT", "GOSSIP", "PHI"]
+
+
+@dataclass(frozen=True)
+class DetectorSetup:
+    """Which detector to deploy and with what knobs.
+
+    ``kind`` is one of ``time-free``, ``partial``, ``heartbeat``,
+    ``heartbeat-adaptive``, ``gossip``, ``phi``.  Timer-based kinds use
+    ``period``/``timeout`` (and ``phi_threshold``); query-response kinds use
+    ``grace``/``idle`` (and ``d`` for the partial detector).
+    """
+
+    kind: str
+    label: str = ""
+    grace: float = 1.0
+    idle: float = 0.0
+    d: int | None = None
+    period: float = 1.0
+    timeout: float = 2.0
+    phi_threshold: float = 8.0
+    timeout_increment: float = 0.5
+    mobility: bool = True
+    with_omega: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            object.__setattr__(self, "label", self.kind)
+
+    def with_(self, **changes) -> "DetectorSetup":
+        return replace(self, **changes)
+
+    def driver_factory(self, f: int) -> DriverFactory:
+        pacing = QueryPacing(grace=self.grace, idle=self.idle)
+        if self.kind == "time-free":
+            return time_free_driver_factory(f, pacing, with_omega=self.with_omega)
+        if self.kind == "partial":
+            from ..partial import partial_driver_factory
+
+            if self.d is None:
+                raise ConfigurationError("partial detector needs the range density d")
+            return partial_driver_factory(self.d, f, pacing, mobility=self.mobility)
+        if self.kind in ("heartbeat", "heartbeat-adaptive"):
+            from ..baselines.heartbeat import HeartbeatDetector
+
+            adaptive = self.kind == "heartbeat-adaptive"
+
+            def make_heartbeat(pid: ProcessId, members: frozenset) -> HeartbeatDetector:
+                return HeartbeatDetector(
+                    pid,
+                    members,
+                    period=self.period,
+                    timeout=self.timeout,
+                    adaptive=adaptive,
+                    timeout_increment=self.timeout_increment,
+                )
+
+            return timed_driver_factory(make_heartbeat)
+        if self.kind == "gossip":
+            from ..baselines.gossip import GossipHeartbeatDetector
+
+            def make_gossip(pid: ProcessId, members: frozenset) -> GossipHeartbeatDetector:
+                return GossipHeartbeatDetector(
+                    pid, members, period=self.period, timeout=self.timeout
+                )
+
+            return timed_driver_factory(make_gossip)
+        if self.kind == "phi":
+            from ..baselines.phi_accrual import PhiAccrualDetector
+
+            def make_phi(pid: ProcessId, members: frozenset) -> PhiAccrualDetector:
+                return PhiAccrualDetector(
+                    pid, members, period=self.period, threshold=self.phi_threshold
+                )
+
+            return timed_driver_factory(make_phi)
+        raise ConfigurationError(f"unknown detector kind {self.kind!r}")
+
+
+#: Canonical comparable configurations (Δ = 1 s everywhere, Θ = 2 s).
+TIME_FREE = DetectorSetup(kind="time-free", label="time-free (async)", grace=1.0)
+HEARTBEAT = DetectorSetup(kind="heartbeat", label="heartbeat Θ=2s", period=1.0, timeout=2.0)
+GOSSIP = DetectorSetup(kind="gossip", label="gossip FT Θ=2s", period=1.0, timeout=2.0)
+PHI = DetectorSetup(kind="phi", label="phi-accrual", period=1.0, phi_threshold=8.0)
+
+
+def run_scenario(
+    *,
+    setup: DetectorSetup,
+    f: int,
+    horizon: float,
+    n: int | None = None,
+    topology: Topology | None = None,
+    latency: LatencyModel | None = None,
+    fault_plan: FaultPlan | None = None,
+    seed: int = 1,
+    start_stagger: float | None = None,
+) -> SimCluster:
+    """Build the cluster, run it to ``horizon``, return it (trace inside)."""
+    if latency is None:
+        latency = ExponentialLatency(mean=0.001)  # the paper's δ ≈ 1 ms
+    if start_stagger is None:
+        # Desynchronise rounds/heartbeats by up to one period by default.
+        start_stagger = max(setup.grace, setup.period)
+    cluster = SimCluster(
+        n=n,
+        topology=topology,
+        driver_factory=setup.driver_factory(f),
+        latency=latency,
+        seed=seed,
+        fault_plan=fault_plan,
+        start_stagger=start_stagger,
+    )
+    cluster.run(until=horizon)
+    return cluster

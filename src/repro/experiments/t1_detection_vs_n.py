@@ -1,0 +1,98 @@
+"""T1 — crash detection time vs. system size n.
+
+For each system size, one process crashes mid-run; we report the mean and
+max (strong-completeness) detection latency across correct observers,
+averaged over trials, for the time-free detector and the heartbeat
+baseline.
+
+Expected shape: heartbeat sits inside ``[Θ - Δ, Θ]`` independent of n (the
+timeout dominates); the time-free detector tracks ``Δ + δ`` — the query
+pacing plus one network hop — and does not degrade with n because every
+query round refreshes all pairs at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from ..metrics import detection_stats
+from ..sim.faults import CrashFault, FaultPlan
+from .report import Table
+from .scenarios import HEARTBEAT, TIME_FREE, DetectorSetup, run_scenario
+
+__all__ = ["T1Params", "run"]
+
+
+@dataclass(frozen=True)
+class T1Params:
+    sizes: tuple[int, ...] = (10, 20, 30)
+    f_fraction: float = 0.2
+    trials: int = 3
+    crash_at: float = 15.0
+    horizon: float = 40.0
+    seed: int = 1
+
+    @classmethod
+    def full(cls) -> "T1Params":
+        return cls(sizes=(10, 20, 30, 40, 50, 60), trials=5)
+
+
+def _measure(setup: DetectorSetup, n: int, f: int, params: T1Params, trial: int):
+    victim = n  # crash the highest id; ids are symmetric under full mesh
+    plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
+    cluster = run_scenario(
+        setup=setup,
+        n=n,
+        f=f,
+        horizon=params.horizon,
+        fault_plan=plan,
+        seed=params.seed * 1000 + trial,
+    )
+    stats = detection_stats(
+        cluster.trace, victim, params.crash_at, cluster.correct_processes()
+    )
+    return stats
+
+
+def run(params: T1Params = T1Params()) -> Table:
+    table = Table(
+        title="T1: crash detection time vs system size (full mesh, 1 crash)",
+        headers=[
+            "n",
+            "f",
+            "time-free mean (s)",
+            "time-free max (s)",
+            "heartbeat mean (s)",
+            "heartbeat max (s)",
+        ],
+    )
+    for n in params.sizes:
+        f = max(1, int(n * params.f_fraction))
+        per_detector: dict[str, tuple[float, float]] = {}
+        for setup in (TIME_FREE, HEARTBEAT):
+            means, maxes = [], []
+            for trial in range(params.trials):
+                stats = _measure(setup, n, f, params, trial)
+                if stats.mean_latency is not None:
+                    means.append(stats.mean_latency)
+                    maxes.append(stats.max_latency)
+            per_detector[setup.kind] = (
+                mean(means) if means else float("nan"),
+                mean(maxes) if maxes else float("nan"),
+            )
+        table.add_row(
+            n,
+            f,
+            per_detector["time-free"][0],
+            per_detector["time-free"][1],
+            per_detector["heartbeat"][0],
+            per_detector["heartbeat"][1],
+        )
+    table.add_note(
+        "Δ = 1 s (query grace / heartbeat period), Θ = 2 s, δ ≈ 1 ms exponential."
+    )
+    table.add_note(
+        "expected: heartbeat in [Θ-Δ, Θ] regardless of n; time-free ≈ Δ + δ."
+    )
+    return table

@@ -1,0 +1,84 @@
+"""Process identifiers and membership helpers.
+
+The paper models the system as a finite set of processes
+``Pi = {p_1, ..., p_n}``.  Throughout the library a *process identifier*
+(``ProcessId``) is any hashable, totally-ordered value; in practice the
+built-in helpers use small integers (``1..n``) which keeps traces and
+experiment tables readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from .errors import ConfigurationError, MembershipError
+
+__all__ = [
+    "ProcessId",
+    "make_membership",
+    "validate_membership",
+    "coordinator_of_round",
+]
+
+#: A process identifier.  Integers are used by the built-in helpers but any
+#: hashable, orderable value (e.g. ``"node-a"``) works across the library.
+ProcessId = Union[int, str]
+
+
+def make_membership(n: int, *, start: int = 1) -> tuple[int, ...]:
+    """Return the canonical membership ``(start, ..., start + n - 1)``.
+
+    >>> make_membership(3)
+    (1, 2, 3)
+    """
+    if n < 1:
+        raise ConfigurationError(f"membership size must be >= 1, got {n}")
+    return tuple(range(start, start + n))
+
+
+def validate_membership(
+    membership: Iterable[ProcessId],
+    *,
+    process_id: ProcessId | None = None,
+    f: int | None = None,
+) -> frozenset[ProcessId]:
+    """Validate a membership set and return it as a ``frozenset``.
+
+    ``process_id``, when given, must belong to the membership.  ``f``, when
+    given, must satisfy ``0 <= f < n`` (the paper requires ``f < n``).
+    """
+    members = frozenset(membership)
+    if not members:
+        raise ConfigurationError("membership must not be empty")
+    if process_id is not None and process_id not in members:
+        raise MembershipError(
+            f"process {process_id!r} is not a member of {sorted(members, key=repr)}"
+        )
+    if f is not None:
+        if f < 0:
+            raise ConfigurationError(f"f must be >= 0, got {f}")
+        if f >= len(members):
+            raise ConfigurationError(
+                f"f must be < n (paper: f < n); got f={f}, n={len(members)}"
+            )
+    return members
+
+
+def coordinator_of_round(round_number: int, membership: Sequence[ProcessId]) -> ProcessId:
+    """Rotating-coordinator rule used by Chandra-Toueg consensus.
+
+    Round ``r`` (1-based) is coordinated by ``membership[(r - 1) % n]`` with
+    the membership taken in sorted order, matching the classical
+    ``c = ((r - 1) mod n) + 1`` formulation.
+    """
+    if round_number < 1:
+        raise ConfigurationError(f"round numbers are 1-based, got {round_number}")
+    ordered = sorted(membership, key=repr) if _mixed_types(membership) else sorted(membership)
+    if not ordered:
+        raise ConfigurationError("membership must not be empty")
+    return ordered[(round_number - 1) % len(ordered)]
+
+
+def _mixed_types(membership: Sequence[ProcessId]) -> bool:
+    kinds = {type(m) for m in membership}
+    return len(kinds) > 1

@@ -1,0 +1,41 @@
+"""Failure-detector quality-of-service metrics.
+
+Computed exclusively from run traces plus the ground-truth fault plan,
+following the vocabulary of Chen, Toueg & Aguilera ("On the quality of
+service of failure detectors", IEEE ToC 2002):
+
+* **detection time** — crash instant to the start of the observer's final,
+  never-revoked suspicion of the crashed process; the max across correct
+  observers is the *strong completeness* time the paper's Figure 2 plots;
+* **mistake rate / duration** — how often and for how long correct
+  processes get falsely suspected (accuracy);
+* **query accuracy probability** — fraction of time an observer was right
+  about a correct peer;
+* **message load** — messages per second per process, by kind.
+"""
+
+from .qos import (
+    DetectionStats,
+    MistakeStats,
+    PairQoS,
+    accuracy_stabilization,
+    all_detection_stats,
+    detection_stats,
+    false_suspicion_series,
+    message_load,
+    mistake_stats,
+    pair_qos,
+)
+
+__all__ = [
+    "DetectionStats",
+    "MistakeStats",
+    "PairQoS",
+    "accuracy_stabilization",
+    "all_detection_stats",
+    "detection_stats",
+    "false_suspicion_series",
+    "message_load",
+    "mistake_stats",
+    "pair_qos",
+]

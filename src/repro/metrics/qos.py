@@ -1,0 +1,277 @@
+"""QoS computations over traces.  See package docstring for definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean as _mean
+from typing import Iterable, Sequence
+
+from ..errors import ExperimentError
+from ..ids import ProcessId
+from ..sim.faults import FaultPlan
+from ..sim.trace import TraceRecorder
+
+__all__ = [
+    "DetectionStats",
+    "MistakeStats",
+    "PairQoS",
+    "detection_stats",
+    "all_detection_stats",
+    "mistake_stats",
+    "pair_qos",
+    "accuracy_stabilization",
+    "false_suspicion_series",
+    "message_load",
+]
+
+
+@dataclass(frozen=True)
+class DetectionStats:
+    """Detection of one crash, seen from every correct observer."""
+
+    crashed: ProcessId
+    crash_time: float
+    #: observer -> detection latency (permanent-suspicion start - crash time)
+    latencies: dict[ProcessId, float]
+    #: correct observers that never (permanently) suspected the crash
+    undetected: frozenset[ProcessId]
+
+    @property
+    def detected_by_all(self) -> bool:
+        """Strong completeness achieved for this crash within the horizon."""
+        return not self.undetected and bool(self.latencies)
+
+    @property
+    def min_latency(self) -> float | None:
+        return min(self.latencies.values(), default=None)
+
+    @property
+    def mean_latency(self) -> float | None:
+        return _mean(self.latencies.values()) if self.latencies else None
+
+    @property
+    def max_latency(self) -> float | None:
+        """Time for *all* observers to detect — the strong completeness time."""
+        return max(self.latencies.values(), default=None)
+
+
+def detection_stats(
+    trace: TraceRecorder,
+    crashed: ProcessId,
+    crash_time: float,
+    observers: Iterable[ProcessId],
+) -> DetectionStats:
+    """Per-observer detection latencies of one crash."""
+    latencies: dict[ProcessId, float] = {}
+    undetected: set[ProcessId] = set()
+    for observer in observers:
+        if observer == crashed:
+            continue
+        start = trace.permanent_suspicion_time(observer, crashed)
+        if start is None:
+            undetected.add(observer)
+        else:
+            # The permanent interval may have begun before the crash (a
+            # false suspicion that the crash then made true); latency is
+            # measured from the crash, floored at zero.
+            latencies[observer] = max(0.0, start - crash_time)
+    return DetectionStats(
+        crashed=crashed,
+        crash_time=crash_time,
+        latencies=latencies,
+        undetected=frozenset(undetected),
+    )
+
+
+def all_detection_stats(
+    trace: TraceRecorder,
+    fault_plan: FaultPlan,
+    membership: Iterable[ProcessId],
+) -> list[DetectionStats]:
+    """Detection stats for every crash in the plan, observed by correct nodes."""
+    correct = fault_plan.correct_processes(membership)
+    return [
+        detection_stats(trace, fault.process, fault.time, correct)
+        for fault in fault_plan.crashes
+    ]
+
+
+@dataclass(frozen=True)
+class MistakeStats:
+    """False suspicions of correct processes by correct observers."""
+
+    #: number of wrong suspicion intervals across all (observer, target) pairs
+    count: int
+    total_duration: float
+    horizon: float
+    #: pairs that were wrongly suspected at the end of the run
+    unresolved: int
+
+    @property
+    def mean_duration(self) -> float | None:
+        """Chen's T_M: average length of a mistake."""
+        return self.total_duration / self.count if self.count else None
+
+    @property
+    def rate(self) -> float:
+        """Chen's lambda_M analogue: mistakes per unit time, whole system."""
+        return self.count / self.horizon if self.horizon > 0 else 0.0
+
+
+def mistake_stats(
+    trace: TraceRecorder,
+    correct: Iterable[ProcessId],
+    *,
+    horizon: float,
+) -> MistakeStats:
+    """Aggregate false-suspicion statistics among correct processes."""
+    correct_set = frozenset(correct)
+    count = 0
+    total = 0.0
+    unresolved = 0
+    for observer in correct_set:
+        for target in correct_set:
+            if observer == target:
+                continue
+            intervals = trace.suspicion_intervals(observer, target, horizon=horizon)
+            count += len(intervals)
+            total += sum(end - start for start, end in intervals)
+            if intervals and intervals[-1][1] >= horizon:
+                unresolved += 1
+    return MistakeStats(
+        count=count, total_duration=total, horizon=horizon, unresolved=unresolved
+    )
+
+
+@dataclass(frozen=True)
+class PairQoS:
+    """Chen-Toueg-Aguilera QoS of one (observer, target) monitored pair."""
+
+    observer: ProcessId
+    target: ProcessId
+    horizon: float
+    #: crash-detection latency; None when the target never crashed
+    detection_time: float | None
+    mistake_count: int
+    mistake_total_duration: float
+
+    @property
+    def mistake_rate(self) -> float:
+        return self.mistake_count / self.horizon if self.horizon > 0 else 0.0
+
+    @property
+    def average_mistake_duration(self) -> float | None:
+        if self.mistake_count == 0:
+            return None
+        return self.mistake_total_duration / self.mistake_count
+
+    @property
+    def query_accuracy_probability(self) -> float:
+        """P_A: fraction of (pre-crash) time the pair's output was correct."""
+        if self.horizon <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.mistake_total_duration / self.horizon)
+
+
+def pair_qos(
+    trace: TraceRecorder,
+    observer: ProcessId,
+    target: ProcessId,
+    *,
+    horizon: float,
+    crash_time: float | None = None,
+) -> PairQoS:
+    """QoS of one monitored pair over ``[0, horizon]``.
+
+    When the target crashed at ``crash_time``, suspicion intervals after the
+    crash are correct behavior and excluded from the mistake tally.
+    """
+    if horizon <= 0:
+        raise ExperimentError(f"horizon must be > 0, got {horizon}")
+    truth_end = crash_time if crash_time is not None else horizon
+    intervals = trace.suspicion_intervals(observer, target, horizon=horizon)
+    mistakes = [
+        (start, min(end, truth_end))
+        for start, end in intervals
+        if start < truth_end
+    ]
+    detection: float | None = None
+    if crash_time is not None:
+        start = trace.permanent_suspicion_time(observer, target)
+        if start is not None:
+            detection = max(0.0, start - crash_time)
+    return PairQoS(
+        observer=observer,
+        target=target,
+        horizon=horizon,
+        detection_time=detection,
+        mistake_count=len(mistakes),
+        mistake_total_duration=sum(end - start for start, end in mistakes),
+    )
+
+
+def accuracy_stabilization(
+    trace: TraceRecorder,
+    correct: Iterable[ProcessId],
+    *,
+    horizon: float,
+) -> dict[ProcessId, float | None]:
+    """For each correct process: when did everyone stop suspecting it?
+
+    Value is the end of its last false-suspicion interval (0.0 if it was
+    never suspected), or ``None`` when some correct observer still suspects
+    it at the horizon.  Eventual weak accuracy holds iff some entry is not
+    ``None``; the witnesses are the *never-again-suspected* processes the
+    ◇S proof promises.
+    """
+    correct_set = frozenset(correct)
+    result: dict[ProcessId, float | None] = {}
+    for target in correct_set:
+        latest = 0.0
+        still_suspected = False
+        for observer in correct_set:
+            if observer == target:
+                continue
+            intervals = trace.suspicion_intervals(observer, target, horizon=horizon)
+            if not intervals:
+                continue
+            last_start, last_end = intervals[-1]
+            if last_end >= horizon:
+                still_suspected = True
+                break
+            latest = max(latest, last_end)
+        result[target] = None if still_suspected else latest
+    return result
+
+
+def false_suspicion_series(
+    trace: TraceRecorder,
+    sample_times: Sequence[float],
+    fault_plan: FaultPlan,
+) -> list[tuple[float, int]]:
+    """Total wrongly-suspected (observer, target) pairs at each sample time.
+
+    Regenerates the y-axis of the mobility experiment (Figure 3 of the
+    follow-up report): a correct-but-moving node racks up false suspicions
+    which must collapse back to zero after reconnection.
+    """
+    return [
+        (t, trace.false_suspicion_count_at(t, fault_plan.crashed_by(t)))
+        for t in sample_times
+    ]
+
+
+def message_load(
+    trace: TraceRecorder,
+    *,
+    horizon: float,
+    n: int,
+) -> dict[str, float]:
+    """Messages per second per process, by message kind plus ``"total"``."""
+    if horizon <= 0 or n <= 0:
+        raise ExperimentError("horizon and n must be positive")
+    load = {
+        kind: count / horizon / n for kind, count in sorted(trace.messages_by_kind.items())
+    }
+    load["total"] = trace.messages_total / horizon / n
+    return load

@@ -1,0 +1,39 @@
+"""Extension: unknown membership, partial connectivity, mobility.
+
+This subpackage implements the follow-up generalization of the DSN 2003
+algorithm (INRIA RR-6088 / arXiv cs/0701015) on top of the same
+counter-tagged machinery:
+
+* membership is *learned*: ``known_i`` collects the processes a node has
+  ever received a query from (the membership property MP makes this
+  well-founded);
+* the response quorum becomes ``d - f`` where ``d`` is the network's *range
+  density* (the smallest 1-hop neighborhood size), and queries only reach
+  1-hop neighbors — suspicion/mistake records *flood* hop by hop;
+* correctness needs the network to be **f-covering** ((f+1)-connected);
+* mobility support (Algorithm 2) adds a single eviction rule that breaks
+  the suspicion ping-pong between a mover and its old neighborhood.
+
+The DSN 2003 core is recovered exactly by running this detector on a full
+mesh with ``d = n``.
+"""
+
+from .covering import (
+    independent_path_count,
+    validate_f_covering,
+    validate_mobility_scenario,
+)
+from .protocol import (
+    PartialDetectorConfig,
+    PartialTimeFreeDetector,
+    partial_driver_factory,
+)
+
+__all__ = [
+    "PartialDetectorConfig",
+    "PartialTimeFreeDetector",
+    "independent_path_count",
+    "partial_driver_factory",
+    "validate_f_covering",
+    "validate_mobility_scenario",
+]

@@ -1,0 +1,78 @@
+"""f-covering validation utilities (Definition 3 + Menger's theorem).
+
+A network is *f-covering* iff it is ``(f + 1)``-connected; by Menger's
+theorem that is equivalent to ``f + 1`` vertex-independent paths between
+every pair of nodes, so removing any ``f`` nodes leaves the survivors
+connected.  These helpers certify experiment topologies before a run —
+the extension's completeness proof silently assumes the property, so a run
+on a non-covering network would produce garbage, not insight.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from ..ids import ProcessId
+from ..sim.topology import Topology
+
+__all__ = [
+    "independent_path_count",
+    "validate_f_covering",
+    "validate_mobility_scenario",
+]
+
+
+def independent_path_count(topology: Topology, a: ProcessId, b: ProcessId) -> int:
+    """Number of vertex-independent paths between ``a`` and ``b``."""
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_nodes_from(topology.ids())
+    graph.add_edges_from(topology.edges())
+    if topology.has_edge(a, b):
+        # Local connectivity is defined for non-adjacent pairs; an edge is
+        # itself one independent path plus the non-adjacent count without it.
+        graph.remove_edge(a, b)
+        return 1 + nx.connectivity.local_node_connectivity(graph, a, b)
+    return nx.connectivity.local_node_connectivity(graph, a, b)
+
+
+def validate_f_covering(topology: Topology, f: int) -> None:
+    """Raise :class:`TopologyError` unless the network is f-covering.
+
+    Also checks the derived density requirement ``d > f + 1`` the report
+    states for f-covering networks.
+    """
+    connectivity = topology.node_connectivity()
+    if connectivity < f + 1:
+        raise TopologyError(
+            f"network is not {f}-covering: node connectivity {connectivity} < {f + 1}"
+        )
+    density = topology.range_density()
+    if density <= f + 1:
+        raise TopologyError(
+            f"f-covering network must have range density d > f + 1; "
+            f"got d={density}, f={f}"
+        )
+
+
+def validate_mobility_scenario(
+    topology: Topology,
+    mover: ProcessId,
+    *,
+    d: int,
+    f: int,
+) -> None:
+    """Check the mobility experiment's stated restriction (Section 6.2).
+
+    Every neighbor of the mover must keep at least ``d - f`` *other*
+    neighbors once the mover departs, so their queries still terminate
+    ("all neighbors of m must have d - f + 1 neighbors").
+    """
+    for neighbor in sorted(topology.neighbors(mover), key=repr):
+        remaining = len(topology.neighbors(neighbor) - {mover})
+        if remaining < d - f:
+            raise TopologyError(
+                f"neighbor {neighbor!r} of mover {mover!r} would keep only "
+                f"{remaining} neighbors (< d - f = {d - f}); its queries "
+                "could never terminate after the move"
+            )

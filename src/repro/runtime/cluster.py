@@ -1,0 +1,86 @@
+"""LocalCluster: a whole detector deployment in one asyncio process.
+
+The quickstart surface of the library::
+
+    cluster = LocalCluster(n=5, f=2)
+    await cluster.start()
+    cluster.crash(3)
+    await cluster.until_suspected(observer=1, target=3)
+    await cluster.stop()
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..core.protocol import DetectorConfig
+from ..errors import ConfigurationError
+from ..ids import ProcessId, make_membership
+from ..sim.latency import LatencyModel
+from .memory import MemoryHub
+from .service import DetectorService, ServicePacing
+
+__all__ = ["LocalCluster"]
+
+
+class LocalCluster:
+    """``n`` detector services over an in-process :class:`MemoryHub`."""
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        *,
+        latency: LatencyModel | None = None,
+        loss_rate: float = 0.0,
+        pacing: ServicePacing | None = None,
+        seed: int = 1,
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError("a cluster needs at least 2 processes")
+        self.membership = frozenset(make_membership(n))
+        self.f = f
+        self.hub = MemoryHub(latency=latency, loss_rate=loss_rate, seed=seed)
+        pacing = pacing if pacing is not None else ServicePacing(grace=0.02)
+        self.services: dict[ProcessId, DetectorService] = {}
+        for pid in sorted(self.membership):
+            config = DetectorConfig(process_id=pid, membership=self.membership, f=f)
+            transport = self.hub.create_transport(pid)
+            self.services[pid] = DetectorService(config, transport, pacing=pacing)
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        await asyncio.gather(*(service.start() for service in self.services.values()))
+
+    async def stop(self) -> None:
+        await asyncio.gather(*(service.stop() for service in self.services.values()))
+
+    # ------------------------------------------------------------------
+    def crash(self, pid: ProcessId) -> None:
+        """Fail-stop ``pid``: silence it at the hub and kill its service."""
+        if pid not in self.services:
+            raise ConfigurationError(f"unknown process {pid!r}")
+        self.hub.crash(pid)
+        service = self.services[pid]
+        if service._task is not None:
+            service._task.cancel()
+
+    def suspects_of(self, pid: ProcessId) -> frozenset[ProcessId]:
+        return self.services[pid].suspects()
+
+    async def until_suspected(
+        self, observer: ProcessId, target: ProcessId, *, timeout: float | None = 30.0
+    ) -> frozenset[ProcessId]:
+        """Wait until ``observer`` suspects ``target``."""
+        return await self.services[observer].wait_until_suspected(target, timeout=timeout)
+
+    async def until_all_suspect(
+        self, target: ProcessId, *, timeout: float | None = 30.0
+    ) -> None:
+        """Wait until every live service suspects ``target``."""
+        waiters = [
+            service.wait_until_suspected(target, timeout=timeout)
+            for pid, service in self.services.items()
+            if pid != target and not self.hub.is_crashed(pid)
+        ]
+        await asyncio.gather(*waiters)

@@ -1,0 +1,208 @@
+"""The detector as an asyncio service.
+
+``DetectorService`` owns a :class:`~repro.core.protocol.TimeFreeDetector`
+and a :class:`~repro.runtime.transport.Transport` and runs task T1's loop
+as an asyncio task.  **No step of failure detection awaits a timeout**: the
+loop awaits the response quorum *event*, then (optionally) sleeps a pacing
+grace to harvest extra responses — pacing affects traffic and false-positive
+pressure, never correctness.
+
+The suspect list is exposed synchronously (``suspects()``), as a change
+stream (``watch()``), and as awaitable predicates
+(``wait_until_suspected``), which is the shape applications like the
+consensus example consume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from ..core.messages import Query, Response
+from ..core.protocol import DetectorConfig, QueryRoundOutcome, TimeFreeDetector
+from ..errors import ConfigurationError
+from ..ids import ProcessId
+from .transport import Transport
+
+__all__ = ["ServicePacing", "DetectorService"]
+
+
+@dataclass(frozen=True)
+class ServicePacing:
+    """Real-time pacing of query rounds (mirrors the simulator's pacing).
+
+    ``retry`` — optional lossy-channel extension (see
+    :class:`repro.sim.node.QueryPacing`): rebroadcast the pending query if
+    the quorum is still outstanding after this many seconds.  Useful over
+    UDP; it re-transmits only and never raises a suspicion, so detection
+    stays time-free.
+    """
+
+    grace: float = 0.05
+    idle: float = 0.0
+    retry: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.grace < 0 or self.idle < 0:
+            raise ConfigurationError(f"pacing delays must be >= 0: {self}")
+        if self.retry is not None and self.retry <= 0:
+            raise ConfigurationError(f"retry must be > 0 when set: {self}")
+
+
+class DetectorService:
+    """Runs the time-free failure detector over a transport."""
+
+    def __init__(
+        self,
+        config: DetectorConfig,
+        transport: Transport,
+        *,
+        pacing: ServicePacing = ServicePacing(),
+    ) -> None:
+        if transport.process_id != config.process_id:
+            raise ConfigurationError(
+                f"transport identity {transport.process_id!r} does not match "
+                f"detector identity {config.process_id!r}"
+            )
+        self.config = config
+        self.detector = TimeFreeDetector(config)
+        self.transport = transport
+        self.pacing = pacing
+        self._quorum_event = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._watchers: list[asyncio.Queue] = []
+        self._send_tasks: set[asyncio.Task] = set()
+        self.rounds_completed = 0
+        self.retries_sent = 0
+        transport.set_handler(self._on_message)
+
+    # -- observation ---------------------------------------------------------
+    @property
+    def process_id(self) -> ProcessId:
+        return self.config.process_id
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    def suspects(self) -> frozenset[ProcessId]:
+        return self.detector.suspects()
+
+    def watch(self) -> asyncio.Queue:
+        """A queue receiving every subsequent suspect-set change."""
+        queue: asyncio.Queue = asyncio.Queue()
+        self._watchers.append(queue)
+        return queue
+
+    async def wait_until_suspected(
+        self, target: ProcessId, *, timeout: float | None = None
+    ) -> frozenset[ProcessId]:
+        """Block until ``target`` appears in the suspect list."""
+        return await self.wait_for(lambda suspects: target in suspects, timeout=timeout)
+
+    async def wait_until_cleared(
+        self, target: ProcessId, *, timeout: float | None = None
+    ) -> frozenset[ProcessId]:
+        """Block until ``target`` is no longer suspected."""
+        return await self.wait_for(lambda suspects: target not in suspects, timeout=timeout)
+
+    async def wait_for(self, predicate, *, timeout: float | None = None):
+        """Block until ``predicate(suspects)`` holds; returns the suspect set."""
+        if predicate(self.suspects()):
+            return self.suspects()
+        queue = self.watch()
+        try:
+            async with asyncio.timeout(timeout):
+                while True:
+                    suspects = await queue.get()
+                    if predicate(suspects):
+                        return suspects
+        finally:
+            self._watchers.remove(queue)
+
+    # -- lifecycle ------------------------------------------------------------
+    async def start(self) -> None:
+        await self.transport.start()
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name=f"detector-{self.process_id}"
+            )
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        for task in list(self._send_tasks):
+            task.cancel()
+        await self.transport.close()
+
+    # -- the T1 loop --------------------------------------------------------------
+    async def _run(self) -> None:
+        peers = sorted(self.config.membership - {self.process_id}, key=repr)
+        while True:
+            before = self.detector.suspects()
+            self._quorum_event.clear()
+            broadcast = self.detector.start_round()
+            await self.transport.broadcast(peers, broadcast.message)
+            await self._await_quorum(peers, broadcast.message)
+            if self.pacing.grace > 0:
+                await asyncio.sleep(self.pacing.grace)
+            outcome = self.detector.finish_round()
+            self.rounds_completed += 1
+            self._after_round(outcome)
+            self._notify_if_changed(before)
+            if self.pacing.idle > 0:
+                await asyncio.sleep(self.pacing.idle)
+
+    async def _await_quorum(self, peers, query) -> None:
+        """Block until ``n - f`` responses are in.
+
+        Without ``pacing.retry`` this is a pure event wait — the time-free
+        wait of line 7.  With it, the pending query is periodically
+        re-broadcast (lossy-channel liveness; no suspicion results from the
+        timer).
+        """
+        while not self.detector.quorum_reached():
+            if self.pacing.retry is None:
+                await self._quorum_event.wait()
+                return
+            try:
+                async with asyncio.timeout(self.pacing.retry):
+                    await self._quorum_event.wait()
+                    return
+            except TimeoutError:
+                if not self.detector.quorum_reached():
+                    self.retries_sent += 1
+                    await self.transport.broadcast(peers, query)
+
+    def _after_round(self, outcome: QueryRoundOutcome) -> None:
+        """Extension point for subclasses (e.g. leader election)."""
+
+    # -- message handling -------------------------------------------------------
+    def _on_message(self, src: ProcessId, message: object) -> None:
+        before = self.detector.suspects()
+        if isinstance(message, Query):
+            effect = self.detector.on_query(message)
+            if effect is not None:
+                self._send_soon(effect.destination, effect.message)
+        elif isinstance(message, Response):
+            self.detector.on_response(message)
+            if self.detector.quorum_reached():
+                self._quorum_event.set()
+        self._notify_if_changed(before)
+
+    def _send_soon(self, dst: ProcessId, message: object) -> None:
+        task = asyncio.get_running_loop().create_task(self.transport.send(dst, message))
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
+
+    def _notify_if_changed(self, before: frozenset[ProcessId]) -> None:
+        after = self.detector.suspects()
+        if after == before:
+            return
+        for queue in self._watchers:
+            queue.put_nowait(after)

@@ -1,0 +1,90 @@
+"""UDP transport: JSON datagrams between real processes.
+
+Each endpoint binds a local UDP socket and knows its peers' addresses.
+Messages are (de)serialised with the shared codec
+(:mod:`repro.core.messages`), so any registered message — detector queries,
+heartbeats, consensus ballots — travels unchanged.  UDP's fire-and-forget
+semantics match the model's *fair-lossy at worst* channels; the detector's
+query-response rounds are naturally idempotent, and the reproduction
+scenarios assume reliable delivery on a LAN.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Mapping
+
+from ..core.messages import decode_message, encode_message
+from ..errors import TransportError
+from ..ids import ProcessId
+from .transport import Transport
+
+__all__ = ["UdpTransport"]
+
+Address = tuple[str, int]
+
+
+class _DatagramProtocol(asyncio.DatagramProtocol):
+    def __init__(self, transport: "UdpTransport") -> None:
+        self._owner = transport
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self._owner._on_datagram(data)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover - OS dependent
+        self._owner._last_error = exc
+
+
+class UdpTransport(Transport):
+    """A UDP endpoint with a static peer directory."""
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        bind: Address,
+        peers: Mapping[ProcessId, Address],
+    ) -> None:
+        super().__init__(process_id)
+        self._bind = bind
+        self._peers = dict(peers)
+        self._udp: asyncio.DatagramTransport | None = None
+        self._last_error: Exception | None = None
+
+    @property
+    def local_address(self) -> Address | None:
+        if self._udp is None:
+            return None
+        return self._udp.get_extra_info("sockname")[:2]
+
+    async def start(self) -> None:
+        if self._udp is not None:
+            return
+        loop = asyncio.get_running_loop()
+        self._udp, _ = await loop.create_datagram_endpoint(
+            lambda: _DatagramProtocol(self), local_addr=self._bind
+        )
+
+    async def close(self) -> None:
+        if self._udp is not None:
+            self._udp.close()
+            self._udp = None
+
+    async def send(self, dst: ProcessId, message: object) -> bool:
+        if self._udp is None:
+            raise TransportError(f"transport of {self.process_id!r} is not started")
+        addr = self._peers.get(dst)
+        if addr is None:
+            return False
+        self._udp.sendto(encode_message(message), addr)
+        return True
+
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data: bytes) -> None:
+        try:
+            message = decode_message(data)
+        except TransportError:
+            return  # garbage datagram: drop, never crash the service
+        sender = getattr(message, "sender", None)
+        if sender is None:
+            return
+        self._dispatch(sender, message)

@@ -1,0 +1,221 @@
+"""One-call assembly of a whole simulated system.
+
+``SimCluster`` wires scheduler, network, processes, drivers, fault plan and
+trace together from a handful of declarative parameters, so experiments and
+tests read as *what* is simulated rather than *how*.  Driver factories pick
+the detector under test: :func:`time_free_driver_factory` for the paper's
+algorithm (optionally over partial/unknown topologies via
+``repro.partial``), :func:`timed_driver_factory` /
+:func:`heartbeat_driver_factory` for the timer-based baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..core.omega import OmegaElector
+from ..core.protocol import DetectorConfig, TimeFreeDetector
+from ..errors import ConfigurationError, SimulationError
+from ..ids import ProcessId
+from .engine import Scheduler
+from .faults import FaultPlan, MobilityFault
+from .latency import ConstantLatency, LatencyModel
+from .network import SimNetwork
+from .node import QueryPacing, QueryResponseDriver, SimProcess, TimedDriver, TimedProtocolCore
+from .rng import RngStreams
+from .topology import Topology, full_mesh
+from .trace import TraceRecorder
+
+__all__ = [
+    "SimCluster",
+    "DriverFactory",
+    "time_free_driver_factory",
+    "timed_driver_factory",
+    "heartbeat_driver_factory",
+]
+
+DriverFactory = Callable[[SimProcess, "SimCluster"], object]
+
+
+class SimCluster:
+    """A complete simulated deployment of one failure-detector protocol."""
+
+    def __init__(
+        self,
+        *,
+        topology: Topology | None = None,
+        n: int | None = None,
+        driver_factory: DriverFactory,
+        latency: LatencyModel | None = None,
+        seed: int = 1,
+        fault_plan: FaultPlan | None = None,
+        loss_rate: float = 0.0,
+        start_stagger: float = 0.0,
+    ) -> None:
+        if (topology is None) == (n is None):
+            raise ConfigurationError("provide exactly one of `topology` or `n`")
+        if topology is None:
+            topology = full_mesh(range(1, int(n) + 1))
+        self.topology = topology
+        self.membership = frozenset(topology.ids())
+        self.scheduler = Scheduler()
+        self.rng = RngStreams(seed)
+        self.trace = TraceRecorder()
+        self.latency = latency if latency is not None else ConstantLatency(0.001)
+        self.network = SimNetwork(
+            self.scheduler,
+            topology,
+            self.latency,
+            self.rng,
+            loss_rate=loss_rate,
+            trace=self.trace,
+        )
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.none()
+        self.processes: dict[ProcessId, SimProcess] = {}
+        self.drivers: dict[ProcessId, object] = {}
+        for pid in sorted(self.membership, key=repr):
+            process = SimProcess(pid, self.scheduler, self.network, self.trace)
+            driver = driver_factory(process, self)
+            process.bind(driver)
+            self.processes[pid] = process
+            self.drivers[pid] = driver
+        self._schedule_start(start_stagger)
+        self._schedule_faults()
+
+    # ------------------------------------------------------------------
+    def _schedule_start(self, stagger: float) -> None:
+        if stagger < 0:
+            raise ConfigurationError(f"start_stagger must be >= 0, got {stagger}")
+        start_rng = self.rng.stream("cluster", "start")
+        for pid in sorted(self.membership, key=repr):
+            offset = start_rng.uniform(0.0, stagger) if stagger > 0 else 0.0
+            self.scheduler.schedule_at(offset, self.processes[pid].start)
+
+    def _schedule_faults(self) -> None:
+        for crash in self.fault_plan.crashes:
+            process = self._process_or_raise(crash.process)
+            self.scheduler.schedule_at(crash.time, process.crash)
+        for move in self.fault_plan.moves:
+            process = self._process_or_raise(move.process)
+            self.scheduler.schedule_at(move.depart, process.detach)
+            if move.arrive is not None:
+                self.scheduler.schedule_at(move.arrive, self._reattach, move)
+
+    def _reattach(self, move: MobilityFault) -> None:
+        if move.new_position is not None:
+            self._relocate(move.process, move.new_position)
+        self.processes[move.process].attach()
+
+    def _relocate(self, pid: ProcessId, position: tuple[float, float]) -> None:
+        """Rewire radio edges for a node that reappears somewhere else."""
+        if pid not in self.topology.positions:
+            raise SimulationError(
+                f"cannot relocate {pid!r}: topology has no positions"
+            )
+        reach = self._transmission_range()
+        self.topology.isolate(pid)
+        self.topology.positions[pid] = position
+        for other in sorted(self.topology.ids(), key=repr):
+            if other == pid:
+                continue
+            if _dist(position, self.topology.positions[other]) <= reach:
+                self.topology.add_edge(pid, other)
+
+    def _transmission_range(self) -> float:
+        """Infer the radio range from existing geometric edges."""
+        longest = 0.0
+        for a, b in self.topology.edges():
+            if a in self.topology.positions and b in self.topology.positions:
+                longest = max(
+                    longest, _dist(self.topology.positions[a], self.topology.positions[b])
+                )
+        if longest == 0.0:
+            raise SimulationError("topology has no geometric edges to infer range from")
+        return longest
+
+    def _process_or_raise(self, pid: ProcessId) -> SimProcess:
+        try:
+            return self.processes[pid]
+        except KeyError:
+            raise ConfigurationError(f"fault plan names unknown process {pid!r}") from None
+
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> None:
+        """Advance virtual time to ``until``."""
+        self.scheduler.run(until=until)
+
+    def suspects_of(self, pid: ProcessId) -> frozenset[ProcessId]:
+        return self.drivers[pid].suspects()  # type: ignore[attr-defined]
+
+    def correct_processes(self) -> frozenset[ProcessId]:
+        return self.fault_plan.correct_processes(self.membership)
+
+    def electors(self) -> dict[ProcessId, OmegaElector]:
+        """The Omega electors, for clusters built with ``with_omega=True``."""
+        result = {}
+        for pid, driver in self.drivers.items():
+            elector = getattr(driver, "elector", None)
+            if elector is not None:
+                result[pid] = elector
+        return result
+
+
+# ---------------------------------------------------------------------------
+# driver factories
+# ---------------------------------------------------------------------------
+
+
+def time_free_driver_factory(
+    f: int,
+    pacing: QueryPacing = QueryPacing(),
+    *,
+    with_omega: bool = False,
+) -> DriverFactory:
+    """Drive the paper's time-free detector on every node (full membership)."""
+
+    def factory(process: SimProcess, cluster: SimCluster) -> QueryResponseDriver:
+        config = DetectorConfig.for_process(process.pid, cluster.membership, f)
+        elector = None
+        if with_omega:
+            elector = OmegaElector(config)
+            detector = TimeFreeDetector(
+                config,
+                extra_provider=elector.payload,
+                extra_consumer=elector.consume,
+            )
+        else:
+            detector = TimeFreeDetector(config)
+        return QueryResponseDriver(process, detector, pacing, elector=elector)
+
+    return factory
+
+
+def timed_driver_factory(
+    make_core: Callable[[ProcessId, frozenset[ProcessId]], TimedProtocolCore],
+) -> DriverFactory:
+    """Drive an arbitrary timer-based core built by ``make_core(pid, members)``."""
+
+    def factory(process: SimProcess, cluster: SimCluster) -> TimedDriver:
+        core = make_core(process.pid, cluster.membership)
+        return TimedDriver(process, core)
+
+    return factory
+
+
+def heartbeat_driver_factory(
+    *,
+    period: float = 1.0,
+    timeout: float = 2.0,
+) -> DriverFactory:
+    """Drive the all-to-all heartbeat baseline (Δ = period, Θ = timeout)."""
+    from ..baselines.heartbeat import HeartbeatDetector
+
+    def make_core(pid: ProcessId, members: frozenset[ProcessId]) -> TimedProtocolCore:
+        return HeartbeatDetector(pid, members, period=period, timeout=timeout)
+
+    return timed_driver_factory(make_core)
+
+
+def _dist(p: tuple[float, float], q: tuple[float, float]) -> float:
+    return math.hypot(p[0] - q[0], p[1] - q[1])

@@ -1,0 +1,136 @@
+"""Discrete-event scheduler with deterministic ordering.
+
+Events are ordered by ``(time, sequence-number)``: two events scheduled for
+the same instant fire in scheduling order, which — together with seeded
+randomness (:mod:`repro.sim.rng`) — makes whole simulations reproducible
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+__all__ = ["EventHandle", "Scheduler"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Cancellation handle for a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the event; returns False if it already fired/was cancelled."""
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True
+
+
+class Scheduler:
+    """A virtual-time event loop.
+
+    The loop never advances past events: ``now`` is exactly the timestamp of
+    the event being processed.  Callbacks may schedule further events at or
+    after ``now`` (scheduling in the past raises
+    :class:`~repro.errors.SimulationError`).
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def pending_events(self) -> int:
+        """Number of scheduled (non-cancelled) events still in the queue."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} before current time {self._now}"
+            )
+        event = _Event(time=time, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_after(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def stop(self) -> None:
+        """Make the running :meth:`run` return after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> int:
+        """Process events in order; returns the number processed.
+
+        ``until`` — stop once the next event would fire strictly after this
+        time (and advance ``now`` to ``until``).  ``max_events`` — safety
+        valve against runaway event loops.  With neither bound the loop runs
+        until the queue drains.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"cannot run until {until}, already at {self._now}")
+        self._stopped = False
+        processed = 0
+        while self._heap and not self._stopped:
+            if max_events is not None and processed >= max_events:
+                break
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = event.time
+            event.callback(*event.args)
+            processed += 1
+            self._events_processed += 1
+        if until is not None and not self._stopped:
+            self._now = max(self._now, until)
+        return processed

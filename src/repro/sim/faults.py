@@ -1,0 +1,131 @@
+"""Declarative fault plans: crashes and mobility episodes.
+
+A :class:`FaultPlan` is the run's *ground truth*: metrics compare detector
+output against it (a suspicion of a process that never crashed is false by
+definition).  Plans are applied by :class:`repro.sim.cluster.SimCluster`
+which schedules the corresponding node transitions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+from ..ids import ProcessId
+
+__all__ = ["CrashFault", "MobilityFault", "FaultPlan", "uniform_crashes"]
+
+
+@dataclass(frozen=True, slots=True)
+class CrashFault:
+    """Process ``process`` crashes (permanently) at ``time``."""
+
+    process: ProcessId
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"crash time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True, slots=True)
+class MobilityFault:
+    """``process`` detaches at ``depart`` and reattaches at ``arrive``.
+
+    While detached the node neither sends nor receives but keeps its state
+    (the follow-up report's mobility model).  ``arrive`` may be ``None`` for
+    a node that never returns — indistinguishable from a crash, as the paper
+    notes.  ``new_position``, when given, relocates the node on reattachment
+    (its radio edges are rewired by transmission range); otherwise the node
+    returns to its old neighborhood.
+    """
+
+    process: ProcessId
+    depart: float
+    arrive: float | None
+    new_position: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.depart < 0:
+            raise ConfigurationError(f"depart time must be >= 0, got {self.depart}")
+        if self.arrive is not None and self.arrive <= self.depart:
+            raise ConfigurationError(
+                f"arrive ({self.arrive}) must be after depart ({self.depart})"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete fault schedule of one run."""
+
+    crashes: tuple[CrashFault, ...] = ()
+    moves: tuple[MobilityFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        crashed = [fault.process for fault in self.crashes]
+        if len(crashed) != len(set(crashed)):
+            raise ConfigurationError("a process can crash at most once")
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls()
+
+    @classmethod
+    def of(
+        cls,
+        crashes: Iterable[CrashFault] = (),
+        moves: Iterable[MobilityFault] = (),
+    ) -> "FaultPlan":
+        return cls(crashes=tuple(crashes), moves=tuple(moves))
+
+    # -- ground truth queries ------------------------------------------------
+    def crashed_processes(self) -> frozenset[ProcessId]:
+        return frozenset(fault.process for fault in self.crashes)
+
+    def correct_processes(self, membership: Iterable[ProcessId]) -> frozenset[ProcessId]:
+        return frozenset(membership) - self.crashed_processes()
+
+    def crash_time(self, process: ProcessId) -> float | None:
+        for fault in self.crashes:
+            if fault.process == process:
+                return fault.time
+        return None
+
+    def crashed_by(self, time: float) -> frozenset[ProcessId]:
+        return frozenset(f.process for f in self.crashes if f.time <= time)
+
+    def validate_against(self, membership: Iterable[ProcessId], f: int) -> None:
+        """Check the plan respects the model: <= f crashes, members only."""
+        members = frozenset(membership)
+        for fault in self.crashes:
+            if fault.process not in members:
+                raise ConfigurationError(f"crash of non-member {fault.process!r}")
+        for fault in self.moves:
+            if fault.process not in members:
+                raise ConfigurationError(f"move of non-member {fault.process!r}")
+        if len(self.crashes) > f:
+            raise ConfigurationError(
+                f"plan crashes {len(self.crashes)} processes but f={f}"
+            )
+
+
+def uniform_crashes(
+    victims: Sequence[ProcessId],
+    rng: random.Random,
+    *,
+    start: float,
+    end: float,
+) -> FaultPlan:
+    """Crash each victim at an independent uniform time in ``[start, end]``.
+
+    Mirrors the paper's evaluation: "the number of faults is equal to 5 and
+    they are uniformly inserted during an experiment".
+    """
+    if end <= start:
+        raise ConfigurationError(f"need start < end, got [{start}, {end}]")
+    crashes = tuple(
+        CrashFault(process=pid, time=rng.uniform(start, end)) for pid in victims
+    )
+    return FaultPlan(crashes=crashes)

@@ -1,0 +1,291 @@
+"""Message-latency models.
+
+The system model is *asynchronous*: there is no bound on transfer delays.
+Concretely the simulator draws each message's delay from a configurable
+distribution.  Two models matter for the experiments:
+
+* heavy-tailed models (:class:`LogNormalLatency`, :class:`ParetoLatency`)
+  stress timer-based detectors — any fixed timeout is eventually wrong;
+* :class:`BiasedLatency` makes a chosen set of processes systematically
+  faster responders, which is exactly how the behavioral property **MP**
+  ("some correct process eventually wins every quorum of f+1 queriers") is
+  realised or broken on demand (experiment F3).
+
+All models sample via an explicit :class:`random.Random` so determinism is
+inherited from :mod:`repro.sim.rng`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from typing import Mapping
+
+from ..errors import ConfigurationError
+from ..ids import ProcessId
+
+__all__ = [
+    "LatencyModel",
+    "TimeAwareLatency",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "LogNormalLatency",
+    "ParetoLatency",
+    "BiasedLatency",
+    "PairwiseLatency",
+    "RegimeShiftLatency",
+]
+
+
+class LatencyModel(abc.ABC):
+    """Draws the one-way delay of a message from ``src`` to ``dst``."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
+        """A strictly positive delay in simulated time units."""
+
+    def sample_at(
+        self, rng: random.Random, src: ProcessId, dst: ProcessId, now: float
+    ) -> float:
+        """Delay for a message sent at virtual time ``now``.
+
+        The simulated network always calls this entry point.  Stationary
+        models ignore ``now``; :class:`TimeAwareLatency` subclasses override
+        it, and wrapper models propagate it to their base.
+        """
+        return self.sample(rng, src, dst)
+
+    def mean(self) -> float:
+        """Analytic mean delay where defined; models may override."""
+        raise NotImplementedError(f"{type(self).__name__} has no closed-form mean")
+
+
+class TimeAwareLatency(LatencyModel):
+    """A latency model whose distribution depends on the simulation time.
+
+    The simulated network recognises these and calls :meth:`sample_at` with
+    the current virtual time; the plain :meth:`sample` entry point is
+    rejected to catch misuse outside a simulation.
+    """
+
+    @abc.abstractmethod
+    def sample_at(
+        self, rng: random.Random, src: ProcessId, dst: ProcessId, now: float
+    ) -> float:
+        """A strictly positive delay for a message sent at ``now``."""
+
+    def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
+        raise ConfigurationError(
+            f"{type(self).__name__} is time-dependent; it can only be used "
+            "inside a simulated network that supplies the current time"
+        )
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed delay, optionally with uniform jitter in ``[delay, delay + jitter]``."""
+
+    def __init__(self, delay: float, jitter: float = 0.0) -> None:
+        if delay <= 0:
+            raise ConfigurationError(f"delay must be > 0, got {delay}")
+        if jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {jitter}")
+        self.delay = delay
+        self.jitter = jitter
+
+    def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
+        if self.jitter == 0.0:
+            return self.delay
+        return self.delay + rng.random() * self.jitter
+
+    def mean(self) -> float:
+        return self.delay + self.jitter / 2.0
+
+
+class UniformLatency(LatencyModel):
+    """Uniform delay in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 < low <= high:
+            raise ConfigurationError(f"need 0 < low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponential delay with the given mean, shifted by ``floor``.
+
+    The paper's evaluation uses a one-hop delay "equal to 1 ms in average";
+    ``ExponentialLatency(mean=0.001)`` is the canonical reading.
+    """
+
+    def __init__(self, mean: float, floor: float = 0.0) -> None:
+        if mean <= 0:
+            raise ConfigurationError(f"mean must be > 0, got {mean}")
+        if floor < 0:
+            raise ConfigurationError(f"floor must be >= 0, got {floor}")
+        self._mean = mean
+        self.floor = floor
+
+    def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
+        return self.floor + rng.expovariate(1.0 / self._mean)
+
+    def mean(self) -> float:
+        return self.floor + self._mean
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normal delay: median ``median``, shape ``sigma`` (heavy tail).
+
+    Increasing ``sigma`` at a fixed median keeps typical messages fast while
+    producing ever-larger stragglers — the regime in which timeouts misfire
+    but the time-free detector keeps its accuracy (experiment F2).
+    """
+
+    def __init__(self, median: float, sigma: float, floor: float = 0.0) -> None:
+        if median <= 0:
+            raise ConfigurationError(f"median must be > 0, got {median}")
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        if floor < 0:
+            raise ConfigurationError(f"floor must be >= 0, got {floor}")
+        self.median = median
+        self.sigma = sigma
+        self.floor = floor
+        self._mu = math.log(median)
+
+    def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
+        return self.floor + rng.lognormvariate(self._mu, self.sigma)
+
+    def mean(self) -> float:
+        return self.floor + math.exp(self._mu + self.sigma**2 / 2.0)
+
+
+class ParetoLatency(LatencyModel):
+    """Pareto delay with minimum ``scale`` and tail index ``shape``.
+
+    ``shape <= 1`` has an infinite mean — maximal asynchrony.
+    """
+
+    def __init__(self, scale: float, shape: float) -> None:
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be > 0, got {scale}")
+        if shape <= 0:
+            raise ConfigurationError(f"shape must be > 0, got {shape}")
+        self.scale = scale
+        self.shape = shape
+
+    def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
+        return self.scale * rng.paretovariate(self.shape)
+
+    def mean(self) -> float:
+        if self.shape <= 1:
+            return math.inf
+        return self.scale * self.shape / (self.shape - 1)
+
+
+class BiasedLatency(LatencyModel):
+    """Speed up (or slow down) the messages of a favored set of processes.
+
+    This is how the *responsiveness property* RP is realised in a
+    simulation: "communication between some node and its neighborhood is
+    always faster than the other communications of this neighborhood".
+    With ``bidirectional=True`` (the faithful reading of RP) both legs of a
+    query-response involving a favored process are accelerated, so its
+    responses systematically arrive among the first ``n - f`` — giving MP
+    whenever at least one favored process is correct.  With
+    ``bidirectional=False`` only messages *sent by* favored processes are
+    fast (heartbeat-style one-way traffic).  ``speedup < 1`` sabotages a
+    process instead.
+    """
+
+    def __init__(
+        self,
+        base: LatencyModel,
+        favored: frozenset[ProcessId],
+        speedup: float,
+        *,
+        bidirectional: bool = True,
+    ) -> None:
+        if speedup <= 0:
+            raise ConfigurationError(f"speedup must be > 0, got {speedup}")
+        self.base = base
+        self.favored = frozenset(favored)
+        self.speedup = speedup
+        self.bidirectional = bidirectional
+
+    def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
+        delay = self.base.sample(rng, src, dst)
+        return self._apply(delay, src, dst)
+
+    def sample_at(
+        self, rng: random.Random, src: ProcessId, dst: ProcessId, now: float
+    ) -> float:
+        delay = self.base.sample_at(rng, src, dst, now)
+        return self._apply(delay, src, dst)
+
+    def _apply(self, delay: float, src: ProcessId, dst: ProcessId) -> float:
+        if src in self.favored or (self.bidirectional and dst in self.favored):
+            return delay / self.speedup
+        return delay
+
+
+class RegimeShiftLatency(TimeAwareLatency):
+    """All delays multiply by ``factor`` from ``shift_at`` onwards.
+
+    Models a network-wide slowdown (congestion, route change).  The crucial
+    property: a uniform rescaling of delays leaves *relative* response
+    orderings untouched, so the time-free detector's output is invariant —
+    while any fixed timeout calibrated for the fast regime misfires.  This
+    is the F2 experiment's stressor.
+    """
+
+    def __init__(self, base: LatencyModel, shift_at: float, factor: float) -> None:
+        if shift_at < 0:
+            raise ConfigurationError(f"shift_at must be >= 0, got {shift_at}")
+        if factor <= 0:
+            raise ConfigurationError(f"factor must be > 0, got {factor}")
+        self.base = base
+        self.shift_at = shift_at
+        self.factor = factor
+
+    def sample_at(
+        self, rng: random.Random, src: ProcessId, dst: ProcessId, now: float
+    ) -> float:
+        delay = self.base.sample(rng, src, dst)
+        if now >= self.shift_at:
+            return delay * self.factor
+        return delay
+
+
+class PairwiseLatency(LatencyModel):
+    """Per-(src, dst) overrides on top of a default model.
+
+    Used to engineer exact message patterns in integration tests (e.g. one
+    asymmetric slow link).
+    """
+
+    def __init__(
+        self,
+        default: LatencyModel,
+        overrides: Mapping[tuple[ProcessId, ProcessId], LatencyModel],
+    ) -> None:
+        self.default = default
+        self.overrides = dict(overrides)
+
+    def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
+        model = self.overrides.get((src, dst), self.default)
+        return model.sample(rng, src, dst)
+
+    def sample_at(
+        self, rng: random.Random, src: ProcessId, dst: ProcessId, now: float
+    ) -> float:
+        model = self.overrides.get((src, dst), self.default)
+        return model.sample_at(rng, src, dst, now)

@@ -1,0 +1,120 @@
+"""Online behavioral-property monitors.
+
+The offline oracles in :mod:`repro.core.properties` judge a finished trace;
+these monitors watch a *running* system.  They subscribe to the
+query-response drivers' round listeners and maintain, per candidate
+responder, the current streak of consecutively-won rounds per querier —
+so at any instant an experiment (or an operator) can ask: *does MP
+currently hold, who is the witness, and how solid is the evidence?*
+
+Used by long-running experiments to timestamp when the behavioral
+assumption started holding, which the proofs' "eventually" quantifies
+over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.properties import MPWitness
+from ..core.protocol import QueryRoundOutcome
+from ..errors import ConfigurationError
+from ..ids import ProcessId
+
+__all__ = ["MessagePatternMonitor", "StreakSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreakSnapshot:
+    """Current win streaks of one candidate responder."""
+
+    responder: ProcessId
+    #: querier -> consecutive rounds (ending now) won by the responder
+    streaks: dict[ProcessId, int]
+
+    def queriers_with_streak(self, minimum: int) -> frozenset[ProcessId]:
+        return frozenset(
+            querier for querier, streak in self.streaks.items() if streak >= minimum
+        )
+
+
+class MessagePatternMonitor:
+    """Tracks winning-response streaks online; answers MP queries live.
+
+    ``strict`` selects the winning notion (first ``n - f`` responders vs the
+    full ``rec_from`` — see :class:`repro.core.properties.RoundLike`).
+
+    Wire it to a cluster by registering :meth:`observe` on every
+    :class:`~repro.sim.node.QueryResponseDriver`'s ``round_listeners`` (or
+    call :meth:`attach_to_cluster`).
+    """
+
+    def __init__(
+        self,
+        membership,
+        f: int,
+        *,
+        min_streak: int = 5,
+        strict: bool = True,
+    ) -> None:
+        if min_streak < 1:
+            raise ConfigurationError(f"min_streak must be >= 1, got {min_streak}")
+        self.membership = frozenset(membership)
+        self.f = f
+        self.min_streak = min_streak
+        self.strict = strict
+        #: responder -> querier -> current consecutive-win streak
+        self._streaks: dict[ProcessId, dict[ProcessId, int]] = {
+            pid: {} for pid in self.membership
+        }
+        self.rounds_observed = 0
+        #: first virtual time at which MP was certified (None = not yet)
+        self.mp_since: float | None = None
+        self._clock = None
+
+    # ------------------------------------------------------------------
+    def attach_to_cluster(self, cluster) -> "MessagePatternMonitor":
+        """Subscribe to every query-response driver of a ``SimCluster``."""
+        self._clock = cluster.scheduler
+        for driver in cluster.drivers.values():
+            listeners = getattr(driver, "round_listeners", None)
+            if listeners is not None:
+                listeners.append(self.observe)
+        return self
+
+    def observe(self, querier: ProcessId, outcome: QueryRoundOutcome) -> None:
+        """Round listener: update streaks with one completed round."""
+        self.rounds_observed += 1
+        winning = outcome.winners if self.strict else frozenset(outcome.responders)
+        for responder in self.membership:
+            streaks = self._streaks[responder]
+            if responder in winning:
+                streaks[querier] = streaks.get(querier, 0) + 1
+            else:
+                streaks[querier] = 0
+        if self.mp_since is None and self.current_witness() is not None:
+            self.mp_since = self._clock.now if self._clock is not None else None
+
+    # ------------------------------------------------------------------
+    def snapshot(self, responder: ProcessId) -> StreakSnapshot:
+        return StreakSnapshot(responder=responder, streaks=dict(self._streaks[responder]))
+
+    def current_witness(
+        self, *, crashed: frozenset[ProcessId] = frozenset()
+    ) -> MPWitness | None:
+        """An MP witness based on *current* streaks, or ``None``.
+
+        A witness is a non-crashed responder currently on a
+        ``min_streak``-long winning streak with at least ``f + 1``
+        queriers.
+        """
+        for responder in sorted(self.membership - crashed, key=repr):
+            queriers = self.snapshot(responder).queriers_with_streak(self.min_streak)
+            if len(queriers) >= self.f + 1:
+                return MPWitness(
+                    responder=responder, queriers=queriers, suffix=self.min_streak
+                )
+        return None
+
+    def holds(self, *, crashed: frozenset[ProcessId] = frozenset()) -> bool:
+        return self.current_witness(crashed=crashed) is not None

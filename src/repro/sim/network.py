@@ -1,0 +1,134 @@
+"""The simulated packet network.
+
+Semantics follow the paper's model:
+
+* processes communicate only with their topology neighbors (1-hop range);
+  a broadcast by ``p_i`` is heard by every correct, attached process in
+  ``range_i``;
+* links are reliable by default — they do not create, alter or lose
+  messages (an optional loss rate exists for robustness experiments and is
+  off in every reproduction scenario);
+* per-message delays come from a :class:`~repro.sim.latency.LatencyModel`,
+  so there is **no bound** on transfer time — the network is asynchronous;
+* a *detached* (moving) node neither sends nor receives: messages to or
+  from it are dropped, exactly like the follow-up report's "disturbance
+  region" model of mobility.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SimulationError
+from ..ids import ProcessId
+from ..core.messages import message_kind
+from .engine import Scheduler
+from .latency import LatencyModel
+from .rng import RngStreams
+from .topology import Topology
+from .trace import TraceRecorder
+
+__all__ = ["SimNetwork"]
+
+DeliveryHandler = Callable[[ProcessId, object], None]
+
+
+class SimNetwork:
+    """Routes messages between registered simulated processes."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        topology: Topology,
+        latency: LatencyModel,
+        rng: RngStreams,
+        *,
+        loss_rate: float = 0.0,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.scheduler = scheduler
+        self.topology = topology
+        self.latency = latency
+        self.trace = trace if trace is not None else TraceRecorder()
+        self._delay_rng = rng.stream("network", "delay")
+        self._loss_rng = rng.stream("network", "loss")
+        self._loss_rate = loss_rate
+        self._handlers: dict[ProcessId, DeliveryHandler] = {}
+        self._detached: set[ProcessId] = set()
+
+    # ------------------------------------------------------------------
+    def register(self, pid: ProcessId, handler: DeliveryHandler) -> None:
+        """Attach a process's delivery callback (``handler(src, message)``)."""
+        if pid not in self.topology:
+            raise SimulationError(f"{pid!r} is not a node of the topology")
+        if pid in self._handlers:
+            raise SimulationError(f"{pid!r} is already registered")
+        self._handlers[pid] = handler
+
+    # -- mobility ---------------------------------------------------------
+    def detach(self, pid: ProcessId) -> None:
+        """The node leaves the network (mobility): no send, no receive."""
+        self._detached.add(pid)
+
+    def attach(self, pid: ProcessId) -> None:
+        self._detached.discard(pid)
+
+    def is_attached(self, pid: ProcessId) -> bool:
+        return pid not in self._detached
+
+    # -- transmission -------------------------------------------------------
+    def send(self, src: ProcessId, dst: ProcessId, message: object) -> bool:
+        """Point-to-point transmission to a 1-hop neighbor.
+
+        Returns whether the message was put on the wire (a detached sender,
+        a non-neighbor destination, or random loss all drop it).
+        """
+        if src in self._detached:
+            self.trace.record_drop()
+            return False
+        if dst != src and not self.topology.has_edge(src, dst):
+            # The destination moved out of range since we learned about it.
+            self.trace.record_drop()
+            return False
+        if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
+            self.trace.record_drop()
+            return False
+        delay = self.latency.sample_at(self._delay_rng, src, dst, self.scheduler.now)
+        if delay <= 0:
+            raise SimulationError(
+                f"latency model produced non-positive delay {delay} for {src!r}->{dst!r}"
+            )
+        self.trace.record_message(_kind_of(message), src)
+        self.scheduler.schedule_after(delay, self._deliver, src, dst, message)
+        return True
+
+    def broadcast(self, src: ProcessId, message: object) -> int:
+        """Transmit to every current 1-hop neighbor; returns messages sent."""
+        sent = 0
+        if src in self._detached:
+            self.trace.record_drop()
+            return 0
+        for dst in sorted(self.topology.neighbors(src), key=repr):
+            if self.send(src, dst, message):
+                sent += 1
+        return sent
+
+    # ------------------------------------------------------------------
+    def _deliver(self, src: ProcessId, dst: ProcessId, message: object) -> None:
+        if dst in self._detached:
+            self.trace.record_drop()
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.trace.record_drop()
+            return
+        handler(src, message)
+
+
+def _kind_of(message: object) -> str:
+    try:
+        return message_kind(message)
+    except Exception:
+        return type(message).__name__

@@ -1,0 +1,216 @@
+"""Structured run traces: the single source of truth for every metric.
+
+Nodes and drivers append typed records; :mod:`repro.metrics` computes
+detection times, mistake statistics and message loads from them.  Message
+records are aggregated (counters) by default to keep memory bounded on long
+runs; suspicion changes and rounds are kept in full since every experiment
+needs their timelines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+from ..ids import ProcessId
+
+__all__ = [
+    "SuspicionChange",
+    "RoundRecord",
+    "CrashEvent",
+    "MobilityEvent",
+    "TraceRecorder",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SuspicionChange:
+    """One observer's suspect list changed at ``time``."""
+
+    time: float
+    observer: ProcessId
+    added: frozenset[ProcessId]
+    removed: frozenset[ProcessId]
+    suspects: frozenset[ProcessId]
+
+
+@dataclass(frozen=True, slots=True)
+class RoundRecord:
+    """One completed query round (feeds the MP/RP property oracles)."""
+
+    querier: ProcessId
+    round_id: int
+    started_at: float
+    quorum_at: float
+    finished_at: float
+    responders: tuple[ProcessId, ...]
+    winners: frozenset[ProcessId]
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    time: float
+    process: ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class MobilityEvent:
+    time: float
+    process: ProcessId
+    kind: str  # "detach" | "attach"
+
+
+@dataclass
+class TraceRecorder:
+    """Append-only record store with timeline queries."""
+
+    suspicion_changes: list[SuspicionChange] = field(default_factory=list)
+    rounds: list[RoundRecord] = field(default_factory=list)
+    crashes: list[CrashEvent] = field(default_factory=list)
+    mobility: list[MobilityEvent] = field(default_factory=list)
+    messages_by_kind: Counter = field(default_factory=Counter)
+    messages_by_sender: Counter = field(default_factory=Counter)
+    messages_total: int = 0
+    messages_dropped: int = 0
+
+    # -- recording ---------------------------------------------------------
+    def record_suspicion_change(
+        self,
+        time: float,
+        observer: ProcessId,
+        before: frozenset[ProcessId],
+        after: frozenset[ProcessId],
+    ) -> SuspicionChange | None:
+        """Record the delta between two suspect lists; no-op when equal."""
+        if before == after:
+            return None
+        change = SuspicionChange(
+            time=time,
+            observer=observer,
+            added=after - before,
+            removed=before - after,
+            suspects=after,
+        )
+        self.suspicion_changes.append(change)
+        return change
+
+    def record_round(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+
+    def record_crash(self, time: float, process: ProcessId) -> None:
+        self.crashes.append(CrashEvent(time, process))
+
+    def record_mobility(self, time: float, process: ProcessId, kind: str) -> None:
+        self.mobility.append(MobilityEvent(time, process, kind))
+
+    def record_message(self, kind: str, sender: ProcessId) -> None:
+        self.messages_total += 1
+        self.messages_by_kind[kind] += 1
+        self.messages_by_sender[sender] += 1
+
+    def record_drop(self) -> None:
+        self.messages_dropped += 1
+
+    # -- timeline queries ----------------------------------------------------
+    def changes_of(self, observer: ProcessId) -> list[SuspicionChange]:
+        return [c for c in self.suspicion_changes if c.observer == observer]
+
+    def suspects_at(self, observer: ProcessId, time: float) -> frozenset[ProcessId]:
+        """The observer's suspect list at ``time`` (empty before any change)."""
+        result: frozenset[ProcessId] = frozenset()
+        for change in self.suspicion_changes:
+            if change.time > time:
+                break
+            if change.observer == observer:
+                result = change.suspects
+        return result
+
+    def first_suspicion_time(
+        self,
+        observer: ProcessId,
+        target: ProcessId,
+        *,
+        after: float = 0.0,
+    ) -> float | None:
+        """First time >= ``after`` at which ``observer`` suspects ``target``."""
+        for change in self.suspicion_changes:
+            if change.time < after or change.observer != observer:
+                continue
+            if target in change.added:
+                return change.time
+        return None
+
+    def permanent_suspicion_time(
+        self, observer: ProcessId, target: ProcessId
+    ) -> float | None:
+        """Start of the final, never-revoked suspicion interval.
+
+        ``None`` if the observer does not suspect ``target`` at the end of
+        the trace.  This is the quantity behind *strong completeness*
+        detection times.
+        """
+        start: float | None = None
+        suspected = False
+        for change in self.suspicion_changes:
+            if change.observer != observer:
+                continue
+            if target in change.added and not suspected:
+                suspected = True
+                start = change.time
+            elif target in change.removed and suspected:
+                suspected = False
+                start = None
+        return start if suspected else None
+
+    def suspicion_intervals(
+        self, observer: ProcessId, target: ProcessId, *, horizon: float
+    ) -> list[tuple[float, float]]:
+        """All ``[start, end)`` intervals during which ``target`` was suspected.
+
+        The final interval is closed at ``horizon`` when still open.
+        """
+        intervals: list[tuple[float, float]] = []
+        start: float | None = None
+        for change in self.suspicion_changes:
+            if change.observer != observer:
+                continue
+            if target in change.added and start is None:
+                start = change.time
+            elif target in change.removed and start is not None:
+                intervals.append((start, change.time))
+                start = None
+        if start is not None:
+            intervals.append((start, horizon))
+        return intervals
+
+    def false_suspicion_count_at(
+        self, time: float, crashed: frozenset[ProcessId]
+    ) -> int:
+        """Total (observer, target) pairs wrongly suspected at ``time``.
+
+        Counts every suspicion whose target had not crashed — the quantity in
+        the mobility experiment's "# of false suspicions" axis.
+        """
+        count = 0
+        per_observer: dict[ProcessId, frozenset[ProcessId]] = {}
+        for change in self.suspicion_changes:
+            if change.time > time:
+                break
+            per_observer[change.observer] = change.suspects
+        for suspects in per_observer.values():
+            count += sum(1 for target in suspects if target not in crashed)
+        return count
+
+    # -- round queries --------------------------------------------------------
+    def rounds_of(self, querier: ProcessId) -> list[RoundRecord]:
+        return [r for r in self.rounds if r.querier == querier]
+
+    def crash_time_of(self, process: ProcessId) -> float | None:
+        for event in self.crashes:
+            if event.process == process:
+                return event.time
+        return None
+
+    def crashed_processes(self) -> frozenset[ProcessId]:
+        return frozenset(event.process for event in self.crashes)

@@ -1,0 +1,72 @@
+"""Test helpers: drive sans-I/O detectors over an instant, loss-free network.
+
+``InstantExchange`` wires a set of :class:`TimeFreeDetector` instances
+together without any scheduler: queries are delivered synchronously to a
+chosen subset of peers (in a chosen order), which makes it easy to script
+exact message patterns — who responds, who wins, who appears crashed —
+and assert on the resulting suspicion state, line by line against the
+paper's algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core import DetectorConfig, QueryRoundOutcome, TimeFreeDetector
+from repro.ids import ProcessId
+
+
+def make_detectors(
+    n: int, f: int, *, extra_hooks: dict | None = None
+) -> dict[ProcessId, TimeFreeDetector]:
+    """Build detectors for membership ``1..n`` with crash bound ``f``."""
+    membership = frozenset(range(1, n + 1))
+    detectors = {}
+    for pid in sorted(membership):
+        config = DetectorConfig(process_id=pid, membership=membership, f=f)
+        detectors[pid] = TimeFreeDetector(config)
+    return detectors
+
+
+class InstantExchange:
+    """Synchronously run scripted query rounds among sans-I/O detectors."""
+
+    def __init__(self, detectors: dict[ProcessId, TimeFreeDetector]):
+        self.detectors = detectors
+
+    def run_round(
+        self,
+        querier: ProcessId,
+        *,
+        responders: Sequence[ProcessId] | None = None,
+        receivers: Iterable[ProcessId] | None = None,
+        finish: bool = True,
+    ) -> QueryRoundOutcome | None:
+        """Run one query round issued by ``querier``.
+
+        ``receivers`` — processes that *hear* the query (default: everyone
+        else alive in the exchange); they merge its contents and produce a
+        response.  ``responders`` — the subset (in arrival order) whose
+        responses actually reach the querier in time; default: all
+        receivers, in sorted order.  With ``finish=False`` the round is
+        left collecting (quorum may not have been reached).
+        """
+        detector = self.detectors[querier]
+        broadcast = detector.start_round()
+        query = broadcast.message
+        if receivers is None:
+            receivers = [pid for pid in sorted(self.detectors, key=repr) if pid != querier]
+        receivers = list(receivers)
+        responses = {}
+        for pid in receivers:
+            effect = self.detectors[pid].on_query(query)
+            if effect is not None:
+                responses[pid] = effect.message
+        if responders is None:
+            responders = receivers
+        for pid in responders:
+            if pid in responses:
+                detector.on_response(responses[pid])
+        if not finish:
+            return None
+        return detector.finish_round()

@@ -1,0 +1,50 @@
+"""Smoke tests: the shipped examples actually run.
+
+Only the fast examples are executed end-to-end (the bake-off and the full
+MANET study take tens of seconds and are exercised via their underlying
+experiment modules elsewhere); the rest are checked for importability.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, timeout=120):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "strong completeness reached" in result.stdout
+
+    def test_consensus_cluster(self):
+        result = run_example("consensus_cluster.py")
+        assert result.returncode == 0, result.stderr
+        assert "recovery speedup" in result.stdout
+
+    def test_udp_cluster(self):
+        result = run_example("udp_cluster.py")
+        assert result.returncode == 0, result.stderr
+        assert "crash detected over UDP" in result.stdout
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize(
+        "name",
+        ["manet_density_study.py", "detector_bakeoff.py"],
+    )
+    def test_compiles(self, name):
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")

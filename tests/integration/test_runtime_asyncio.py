@@ -1,0 +1,288 @@
+"""asyncio runtime integration: memory hub, services, UDP transport.
+
+Real (tiny) sleeps are involved; assertions are about *logical* outcomes —
+who is suspected, whether suspicion clears — never about precise timing,
+which the GIL makes unreliable (quantitative timing lives on the DES).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.protocol import DetectorConfig
+from repro.errors import ConfigurationError, TransportError
+from repro.runtime import (
+    DetectorService,
+    LocalCluster,
+    MemoryHub,
+    ServicePacing,
+    UdpTransport,
+)
+from repro.sim.latency import ConstantLatency
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLocalCluster:
+    def test_quiet_cluster_has_no_suspicions(self):
+        async def scenario():
+            cluster = LocalCluster(n=4, f=1, latency=ConstantLatency(0.001), seed=2)
+            await cluster.start()
+            await asyncio.sleep(0.3)
+            try:
+                return {pid: cluster.suspects_of(pid) for pid in cluster.membership}
+            finally:
+                await cluster.stop()
+
+        suspects = run(scenario())
+        assert all(not s for s in suspects.values())
+
+    def test_crashed_process_is_suspected_by_all(self):
+        async def scenario():
+            cluster = LocalCluster(n=5, f=2, latency=ConstantLatency(0.001), seed=3)
+            await cluster.start()
+            await asyncio.sleep(0.1)
+            cluster.crash(3)
+            await cluster.until_all_suspect(3, timeout=10.0)
+            try:
+                return {pid: cluster.suspects_of(pid) for pid in (1, 2, 4, 5)}
+            finally:
+                await cluster.stop()
+
+        suspects = run(scenario())
+        assert all(3 in s for s in suspects.values())
+
+    def test_two_crashes_with_f_two(self):
+        async def scenario():
+            cluster = LocalCluster(n=6, f=2, latency=ConstantLatency(0.001), seed=4)
+            await cluster.start()
+            cluster.crash(5)
+            cluster.crash(6)
+            await cluster.until_all_suspect(5, timeout=10.0)
+            await cluster.until_all_suspect(6, timeout=10.0)
+            try:
+                return cluster.suspects_of(1)
+            finally:
+                await cluster.stop()
+
+        assert run(scenario()) >= frozenset({5, 6})
+
+    def test_crash_of_unknown_process_rejected(self):
+        async def scenario():
+            cluster = LocalCluster(n=3, f=1)
+            with pytest.raises(ConfigurationError):
+                cluster.crash(99)
+            await cluster.stop()
+
+        run(scenario())
+
+    def test_needs_two_processes(self):
+        with pytest.raises(ConfigurationError):
+            LocalCluster(n=1, f=0)
+
+
+class TestDetectorServiceMechanics:
+    def test_watch_stream_reports_changes(self):
+        async def scenario():
+            cluster = LocalCluster(n=3, f=1, latency=ConstantLatency(0.001), seed=5)
+            await cluster.start()
+            queue = cluster.services[1].watch()
+            cluster.crash(2)
+            async with asyncio.timeout(10.0):
+                while True:
+                    suspects = await queue.get()
+                    if 2 in suspects:
+                        break
+            await cluster.stop()
+            return suspects
+
+        assert 2 in run(scenario())
+
+    def test_transport_identity_must_match(self):
+        hub = MemoryHub()
+        transport = hub.create_transport("a")
+        config = DetectorConfig.for_process("b", ["a", "b"], f=1)
+        with pytest.raises(ConfigurationError):
+            DetectorService(config, transport)
+
+    def test_service_counts_rounds(self):
+        async def scenario():
+            cluster = LocalCluster(
+                n=3,
+                f=1,
+                latency=ConstantLatency(0.0005),
+                pacing=ServicePacing(grace=0.01),
+                seed=6,
+            )
+            await cluster.start()
+            await asyncio.sleep(0.3)
+            rounds = cluster.services[1].rounds_completed
+            await cluster.stop()
+            return rounds
+
+        assert run(scenario()) >= 3
+
+
+class TestMemoryHub:
+    def test_loss_free_delivery(self):
+        async def scenario():
+            hub = MemoryHub(latency=ConstantLatency(0.0005))
+            received = []
+            a = hub.create_transport(1)
+            b = hub.create_transport(2)
+            b.set_handler(lambda src, msg: received.append((src, msg)))
+            await a.start()
+            await b.start()
+            from repro.core.messages import Response
+
+            await a.send(2, Response(sender=1, round_id=7))
+            await hub.drain()
+            return received
+
+        received = run(scenario())
+        assert len(received) == 1
+        assert received[0][0] == 1
+
+    def test_crashed_destination_gets_nothing(self):
+        async def scenario():
+            hub = MemoryHub(latency=ConstantLatency(0.0005))
+            received = []
+            a = hub.create_transport(1)
+            b = hub.create_transport(2)
+            b.set_handler(lambda src, msg: received.append(msg))
+            await a.start()
+            await b.start()
+            hub.crash(2)
+            from repro.core.messages import Response
+
+            sent = await a.send(2, Response(sender=1, round_id=1))
+            await hub.drain()
+            return sent, received
+
+        sent, received = run(scenario())
+        assert sent is False
+        assert received == []
+
+    def test_duplicate_identity_rejected(self):
+        hub = MemoryHub()
+        hub.create_transport(1)
+        with pytest.raises(TransportError):
+            hub.create_transport(1)
+
+    def test_send_before_start_rejected(self):
+        async def scenario():
+            hub = MemoryHub()
+            transport = hub.create_transport(1)
+            hub.create_transport(2)
+            from repro.core.messages import Response
+
+            with pytest.raises(TransportError):
+                await transport.send(2, Response(sender=1, round_id=1))
+
+        run(scenario())
+
+
+class TestUdpTransport:
+    def test_round_trip_over_localhost(self):
+        async def scenario():
+            from repro.core.messages import Query, Response
+
+            received_a, received_b = [], []
+            a = UdpTransport(1, ("127.0.0.1", 0), peers={})
+            await a.start()
+            addr_a = a.local_address
+            b = UdpTransport(2, ("127.0.0.1", 0), peers={1: addr_a})
+            await b.start()
+            a._peers[2] = b.local_address
+            a.set_handler(lambda src, msg: received_a.append((src, msg)))
+            b.set_handler(lambda src, msg: received_b.append((src, msg)))
+            query = Query(sender=1, round_id=3, suspected=((2, 1),), mistakes=())
+            await a.send(2, query)
+            for _ in range(100):
+                if received_b:
+                    break
+                await asyncio.sleep(0.01)
+            await b.send(1, Response(sender=2, round_id=3))
+            for _ in range(100):
+                if received_a:
+                    break
+                await asyncio.sleep(0.01)
+            await a.close()
+            await b.close()
+            return received_a, received_b
+
+        received_a, received_b = run(scenario())
+        assert received_b and received_b[0][0] == 1
+        assert received_b[0][1].suspected == ((2, 1),)
+        assert received_a and received_a[0][1].round_id == 3
+
+    def test_unknown_peer_send_returns_false(self):
+        async def scenario():
+            transport = UdpTransport(1, ("127.0.0.1", 0), peers={})
+            await transport.start()
+            from repro.core.messages import Response
+
+            result = await transport.send(9, Response(sender=1, round_id=1))
+            await transport.close()
+            return result
+
+        assert run(scenario()) is False
+
+    def test_detector_services_over_udp(self):
+        async def scenario():
+            from repro.core.protocol import DetectorConfig
+
+            membership = frozenset({1, 2, 3})
+            transports = {}
+            for pid in membership:
+                transports[pid] = UdpTransport(pid, ("127.0.0.1", 0), peers={})
+            services = {}
+            for pid in membership:
+                config = DetectorConfig(process_id=pid, membership=membership, f=1)
+                services[pid] = DetectorService(
+                    config, transports[pid], pacing=ServicePacing(grace=0.01)
+                )
+            # Bind all sockets first, then fill in the peer directories.
+            for service in services.values():
+                await service.transport.start()
+            addresses = {pid: t.local_address for pid, t in transports.items()}
+            for pid, transport in transports.items():
+                for other, addr in addresses.items():
+                    if other != pid:
+                        transport._peers[other] = addr
+            for service in services.values():
+                await service.start()
+            await asyncio.sleep(0.3)
+            suspects = {pid: services[pid].suspects() for pid in membership}
+            # Kill service 3 and wait for the survivors to notice.
+            await services[3].stop()
+            async with asyncio.timeout(10.0):
+                await services[1].wait_until_suspected(3)
+                await services[2].wait_until_suspected(3)
+            result = (suspects, services[1].suspects(), services[2].suspects())
+            await services[1].stop()
+            await services[2].stop()
+            return result
+
+        quiet, after_1, after_2 = run(scenario())
+        assert all(not s for s in quiet.values())
+        assert 3 in after_1 and 3 in after_2
+
+    def test_garbage_datagrams_are_dropped(self):
+        async def scenario():
+            import socket
+
+            transport = UdpTransport(1, ("127.0.0.1", 0), peers={})
+            await transport.start()
+            received = []
+            transport.set_handler(lambda src, msg: received.append(msg))
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.sendto(b"definitely not json", transport.local_address)
+            sock.close()
+            await asyncio.sleep(0.1)
+            await transport.close()
+            return received
+
+        assert run(scenario()) == []

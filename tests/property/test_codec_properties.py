@@ -1,0 +1,77 @@
+"""Property-based round-trip tests of the wire codec."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.gossip import GossipHeartbeat
+from repro.baselines.heartbeat import Heartbeat
+from repro.consensus.messages import Ack, Decide, Estimate, Nack, Proposal
+from repro.core.messages import Query, Response, decode_message, encode_message
+
+PIDS = st.one_of(st.integers(min_value=0, max_value=1_000), st.text(min_size=1, max_size=8))
+TAG_RECORDS = st.lists(
+    st.tuples(PIDS, st.integers(min_value=0, max_value=10_000)),
+    max_size=8,
+    unique_by=lambda record: record[0],
+).map(tuple)
+VALUES = st.one_of(st.integers(), st.text(max_size=20), st.booleans(), st.none())
+
+
+def roundtrips(message) -> bool:
+    return decode_message(encode_message(message)) == message
+
+
+class TestDetectorMessages:
+    @given(sender=PIDS, round_id=st.integers(min_value=1), suspected=TAG_RECORDS, mistakes=TAG_RECORDS)
+    def test_query_roundtrip(self, sender, round_id, suspected, mistakes):
+        assert roundtrips(
+            Query(sender=sender, round_id=round_id, suspected=suspected, mistakes=mistakes)
+        )
+
+    @given(sender=PIDS, round_id=st.integers(min_value=1))
+    def test_response_roundtrip(self, sender, round_id):
+        assert roundtrips(Response(sender=sender, round_id=round_id))
+
+    @given(
+        sender=PIDS,
+        round_id=st.integers(min_value=1),
+        accusations=TAG_RECORDS,
+    )
+    def test_query_with_piggyback_roundtrip(self, sender, round_id, accusations):
+        query = Query(
+            sender=sender,
+            round_id=round_id,
+            suspected=(),
+            mistakes=(),
+            extra=(("omega.accusations", accusations),),
+        )
+        assert roundtrips(query)
+
+
+class TestBaselineMessages:
+    @given(sender=PIDS, seq=st.integers(min_value=0))
+    def test_heartbeat_roundtrip(self, sender, seq):
+        assert roundtrips(Heartbeat(sender=sender, seq=seq))
+
+    @given(sender=PIDS, vector=TAG_RECORDS)
+    def test_gossip_roundtrip(self, sender, vector):
+        assert roundtrips(GossipHeartbeat(sender=sender, vector=vector))
+
+
+class TestConsensusMessages:
+    @given(sender=PIDS, round=st.integers(min_value=1), value=VALUES, ts=st.integers(min_value=0))
+    def test_estimate_roundtrip(self, sender, round, value, ts):
+        assert roundtrips(Estimate(sender=sender, round=round, value=value, ts=ts))
+
+    @given(sender=PIDS, round=st.integers(min_value=1), value=VALUES)
+    def test_proposal_roundtrip(self, sender, round, value):
+        assert roundtrips(Proposal(sender=sender, round=round, value=value))
+
+    @given(sender=PIDS, round=st.integers(min_value=1))
+    def test_ack_nack_roundtrip(self, sender, round):
+        assert roundtrips(Ack(sender=sender, round=round))
+        assert roundtrips(Nack(sender=sender, round=round))
+
+    @given(sender=PIDS, value=VALUES)
+    def test_decide_roundtrip(self, sender, value):
+        assert roundtrips(Decide(sender=sender, value=value))

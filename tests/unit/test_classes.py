@@ -1,0 +1,40 @@
+"""Failure-detector class taxonomy tests."""
+
+from repro.core.classes import Accuracy, Completeness, FDClass, is_reducible_to
+
+
+class TestTaxonomy:
+    def test_diamond_s_properties(self):
+        assert FDClass.DIAMOND_S.completeness is Completeness.STRONG
+        assert FDClass.DIAMOND_S.accuracy is Accuracy.EVENTUAL_WEAK
+
+    def test_perfect_detector_properties(self):
+        assert FDClass.P.completeness is Completeness.STRONG
+        assert FDClass.P.accuracy is Accuracy.PERPETUAL_STRONG
+
+    def test_omega_has_no_completeness_accuracy_split(self):
+        assert FDClass.OMEGA.completeness is None
+        assert FDClass.OMEGA.accuracy is None
+
+
+class TestReducibility:
+    def test_p_is_strongest(self):
+        for target in FDClass:
+            assert is_reducible_to(FDClass.P, target)
+
+    def test_diamond_s_cannot_emulate_perpetual_classes(self):
+        assert not is_reducible_to(FDClass.DIAMOND_S, FDClass.P)
+        assert not is_reducible_to(FDClass.DIAMOND_S, FDClass.S)
+        assert not is_reducible_to(FDClass.DIAMOND_S, FDClass.DIAMOND_P)
+
+    def test_diamond_s_omega_equivalence(self):
+        assert is_reducible_to(FDClass.DIAMOND_S, FDClass.OMEGA)
+        assert is_reducible_to(FDClass.OMEGA, FDClass.DIAMOND_S)
+
+    def test_every_class_emulates_itself(self):
+        for cls in FDClass:
+            assert is_reducible_to(cls, cls)
+
+    def test_s_emulates_diamond_s_but_not_diamond_p(self):
+        assert is_reducible_to(FDClass.S, FDClass.DIAMOND_S)
+        assert not is_reducible_to(FDClass.S, FDClass.DIAMOND_P)

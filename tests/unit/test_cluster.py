@@ -1,0 +1,120 @@
+"""Unit tests for SimCluster assembly, fault wiring and relocation."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim import ConstantLatency, QueryPacing, SimCluster
+from repro.sim.cluster import time_free_driver_factory
+from repro.sim.faults import CrashFault, FaultPlan, MobilityFault
+from repro.sim.topology import Topology, full_mesh
+
+
+def factory():
+    return time_free_driver_factory(1, QueryPacing(grace=0.05))
+
+
+class TestConstruction:
+    def test_needs_exactly_one_of_n_or_topology(self):
+        with pytest.raises(ConfigurationError):
+            SimCluster(driver_factory=factory())
+        with pytest.raises(ConfigurationError):
+            SimCluster(n=3, topology=full_mesh([1, 2, 3]), driver_factory=factory())
+
+    def test_membership_comes_from_topology(self):
+        cluster = SimCluster(topology=full_mesh([5, 6, 7]), driver_factory=factory())
+        assert cluster.membership == frozenset({5, 6, 7})
+
+    def test_negative_stagger_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimCluster(n=3, driver_factory=factory(), start_stagger=-1.0)
+
+    def test_fault_plan_must_name_members(self):
+        plan = FaultPlan.of(crashes=[CrashFault(99, 1.0)])
+        with pytest.raises(ConfigurationError):
+            SimCluster(n=3, driver_factory=factory(), fault_plan=plan)
+
+    def test_default_latency_is_one_millisecond(self):
+        cluster = SimCluster(n=3, driver_factory=factory())
+        assert isinstance(cluster.latency, ConstantLatency)
+        assert cluster.latency.delay == pytest.approx(0.001)
+
+
+class TestFaultWiring:
+    def test_crash_is_scheduled(self):
+        plan = FaultPlan.of(crashes=[CrashFault(2, 1.0)])
+        cluster = SimCluster(n=3, driver_factory=factory(), fault_plan=plan)
+        cluster.run(until=2.0)
+        assert not cluster.processes[2].alive
+        assert cluster.trace.crash_time_of(2) == 1.0
+
+    def test_mobility_is_scheduled(self):
+        plan = FaultPlan.of(moves=[MobilityFault(2, depart=1.0, arrive=2.0)])
+        cluster = SimCluster(n=3, driver_factory=factory(), fault_plan=plan)
+        cluster.run(until=1.5)
+        assert not cluster.processes[2].attached
+        cluster.run(until=2.5)
+        assert cluster.processes[2].attached
+        kinds = [(e.kind, e.time) for e in cluster.trace.mobility]
+        assert kinds == [("detach", 1.0), ("attach", 2.0)]
+
+    def test_never_returning_mover_stays_detached(self):
+        plan = FaultPlan.of(moves=[MobilityFault(2, depart=1.0, arrive=None)])
+        cluster = SimCluster(n=3, driver_factory=factory(), fault_plan=plan)
+        cluster.run(until=10.0)
+        assert not cluster.processes[2].attached
+        assert cluster.processes[2].alive  # moving, not crashed
+
+    def test_correct_processes_excludes_crashed(self):
+        plan = FaultPlan.of(crashes=[CrashFault(3, 0.5)])
+        cluster = SimCluster(n=4, driver_factory=factory(), fault_plan=plan)
+        assert cluster.correct_processes() == frozenset({1, 2, 4})
+
+
+class TestRelocation:
+    def geometric_topology(self):
+        positions = {
+            1: (0.0, 0.0),
+            2: (5.0, 0.0),
+            3: (10.0, 0.0),
+            4: (50.0, 0.0),
+            5: (55.0, 0.0),
+        }
+        topo = Topology(positions.keys(), positions=positions)
+        for a, b in ((1, 2), (2, 3), (1, 3), (4, 5)):
+            topo.add_edge(a, b)
+        return topo
+
+    def test_relocation_rewires_edges_by_range(self):
+        plan = FaultPlan.of(
+            moves=[MobilityFault(1, depart=1.0, arrive=2.0, new_position=(52.0, 0.0))]
+        )
+        cluster = SimCluster(
+            topology=self.geometric_topology(), driver_factory=factory(), fault_plan=plan
+        )
+        cluster.run(until=3.0)
+        # Range inferred from the longest existing edge (10 units: 1-3).
+        assert cluster.topology.neighbors(1) == frozenset({4, 5})
+        assert 1 not in cluster.topology.neighbors(2)
+
+    def test_relocation_without_positions_fails(self):
+        plan = FaultPlan.of(
+            moves=[MobilityFault(2, depart=1.0, arrive=2.0, new_position=(1.0, 1.0))]
+        )
+        cluster = SimCluster(n=3, driver_factory=factory(), fault_plan=plan)
+        with pytest.raises(SimulationError):
+            cluster.run(until=3.0)
+
+
+class TestElectorDiscovery:
+    def test_clusters_without_omega_have_no_electors(self):
+        cluster = SimCluster(n=3, driver_factory=factory())
+        assert cluster.electors() == {}
+
+    def test_with_omega_every_node_has_an_elector(self):
+        cluster = SimCluster(
+            n=3,
+            driver_factory=time_free_driver_factory(
+                1, QueryPacing(grace=0.05), with_omega=True
+            ),
+        )
+        assert set(cluster.electors()) == cluster.membership

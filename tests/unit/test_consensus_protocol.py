@@ -1,0 +1,196 @@
+"""Unit tests for the Chandra-Toueg consensus state machine (sans-I/O).
+
+Messages are routed by hand between participants so each test controls the
+exact interleaving — including coordinator crashes, which are modeled by
+simply never delivering the coordinator's messages.
+"""
+
+import pytest
+
+from repro.consensus.messages import Ack, Decide, Estimate, Nack, Proposal
+from repro.consensus.protocol import ChandraTouegConsensus, ConsensusConfig
+from repro.core.effects import SendTo
+from repro.errors import ConfigurationError, ConsensusError
+
+
+def p1_only(effects, message_type):
+    """The single message of ``message_type`` among the effects."""
+    matching = [e.message for e in effects if isinstance(e.message, message_type)]
+    assert len(matching) == 1, f"expected exactly one {message_type.__name__}"
+    return matching[0]
+
+
+class Router:
+    """Synchronously routes consensus effects among participants."""
+
+    def __init__(self, n, f, *, suspects=None):
+        membership = frozenset(range(1, n + 1))
+        self.suspects = {pid: frozenset() for pid in membership}
+        if suspects:
+            self.suspects.update(suspects)
+        self.participants = {
+            pid: ChandraTouegConsensus(
+                ConsensusConfig(process_id=pid, membership=membership, f=f),
+                (lambda pid=pid: self.suspects[pid]),
+            )
+            for pid in sorted(membership)
+        }
+        self.dropped: set = set()  # crashed pids: their traffic vanishes
+        self.queue = []
+
+    def crash(self, pid):
+        self.dropped.add(pid)
+
+    def submit(self, sender, effects):
+        for effect in effects:
+            assert isinstance(effect, SendTo)
+            self.queue.append((sender, effect.destination, effect.message))
+
+    def deliver_all(self):
+        while self.queue:
+            sender, dst, message = self.queue.pop(0)
+            if sender in self.dropped or dst in self.dropped:
+                continue
+            effects = self.participants[dst].on_message(sender, message)
+            self.submit(dst, effects)
+
+    def propose_all(self, values=None):
+        for pid, participant in self.participants.items():
+            if pid in self.dropped:
+                continue
+            value = (values or {}).get(pid, f"v{pid}")
+            self.submit(pid, participant.propose(value))
+        self.deliver_all()
+
+    def poke(self, pid):
+        self.submit(pid, self.participants[pid].poke())
+        self.deliver_all()
+
+
+class TestConfig:
+    def test_majority(self):
+        config = ConsensusConfig(process_id=1, membership=frozenset({1, 2, 3, 4, 5}), f=2)
+        assert config.majority == 3
+
+    def test_requires_correct_majority(self):
+        with pytest.raises(ConfigurationError):
+            ConsensusConfig(process_id=1, membership=frozenset({1, 2, 3, 4}), f=2)
+
+    def test_coordinator_rotation(self):
+        config = ConsensusConfig(process_id=1, membership=frozenset({1, 2, 3}), f=1)
+        assert [config.coordinator(r) for r in (1, 2, 3, 4)] == [1, 2, 3, 1]
+
+
+class TestFaultFree:
+    def test_everyone_decides_coordinators_value(self):
+        router = Router(n=5, f=2)
+        router.propose_all()
+        for participant in router.participants.values():
+            assert participant.decided
+            assert participant.decision == "v1"  # round-1 coordinator's pick
+
+    def test_decision_in_one_round(self):
+        router = Router(n=5, f=2)
+        router.propose_all()
+        assert all(p.round <= 2 for p in router.participants.values())
+
+    def test_double_propose_rejected(self):
+        router = Router(n=3, f=1)
+        router.propose_all()
+        with pytest.raises(ConsensusError):
+            router.participants[2].propose("again")
+
+    def test_undecided_participant_has_no_decision(self):
+        router = Router(n=3, f=1)
+        with pytest.raises(ConsensusError):
+            router.participants[1].decision
+
+
+class TestCoordinatorCrash:
+    def test_nacks_move_to_next_round_and_decide(self):
+        router = Router(n=5, f=2)
+        router.crash(1)  # round-1 coordinator
+        router.propose_all()
+        # Nobody can progress: phase 3 waits on the dead coordinator.
+        assert not any(
+            p.decided for pid, p in router.participants.items() if pid != 1
+        )
+        # The detector eventually suspects 1 everywhere.
+        for pid in (2, 3, 4, 5):
+            router.suspects[pid] = frozenset({1})
+            router.poke(pid)
+        for pid in (2, 3, 4, 5):
+            assert router.participants[pid].decided
+            assert router.participants[pid].decision == "v2"
+
+    def test_crash_after_proposal_still_decides_via_relay(self):
+        router = Router(n=3, f=1)
+        router.propose_all()  # decides normally; Decide relayed
+        # Even if the coordinator vanished right after deciding, relays exist:
+        assert all(p.decided for p in router.participants.values())
+
+
+class TestAgreementMachinery:
+    def test_locked_value_survives_coordinator_change(self):
+        # p2 adopts (locks) the round-1 proposal, but the coordinator
+        # crashes before *deciding* (its ack never arrives).  Round 2's
+        # coordinator must re-propose the locked value — the ts rule.
+        router = Router(n=3, f=1)
+        p1, p2, p3 = (router.participants[i] for i in (1, 2, 3))
+        est2 = p1_only(p2.propose("b"), Estimate)
+        p3.propose("c")
+        p1.propose("a")  # coordinator: own estimate is local
+        # p1 reaches its majority of estimates and proposes "a".
+        out = p1.on_message(2, est2)
+        proposal = next(e.message for e in out if isinstance(e.message, Proposal))
+        # Deliver the proposal to p2 only; p2 locks ("a", ts=1) and acks —
+        # but the ack is never delivered (p1 crashes now).
+        ack_effects = p2.on_message(1, proposal)
+        assert any(isinstance(e.message, Ack) for e in ack_effects)
+        assert p2._estimate == "a"
+        assert p2._ts == 1
+        assert not p1.decided
+        # p3 suspects the dead coordinator, nacks and enters round 2,
+        # sending its (unlocked) estimate "c" to the new coordinator p2.
+        router.suspects[3] = frozenset({1})
+        out3 = p3.poke()
+        est_r2 = next(e.message for e in out3 if isinstance(e.message, Estimate))
+        assert est_r2.round == 2
+        assert est_r2.ts == 0
+        # p2 (round-2 coordinator) gathers the majority and must propose the
+        # locked "a" (ts 1 beats ts 0), not p3's "c".
+        out2 = p2.on_message(3, est_r2)
+        proposal_r2 = next(e.message for e in out2 if isinstance(e.message, Proposal))
+        assert proposal_r2.value == "a"
+        # Finish the round: p3 acks, p2 decides, Decide reaches p3.
+        out3b = p3.on_message(2, proposal_r2)
+        ack_r2 = next(e.message for e in out3b if isinstance(e.message, Ack))
+        out2b = p2.on_message(3, ack_r2)
+        assert p2.decided and p2.decision == "a"
+        decide = next(e.message for e in out2b if isinstance(e.message, Decide))
+        p3.on_message(2, decide)
+        assert p3.decided and p3.decision == "a"
+
+    def test_decide_message_short_circuits(self):
+        router = Router(n=3, f=1)
+        participant = router.participants[2]
+        participant.propose("x")
+        effects = participant.on_message(1, Decide(sender=1, value="z"))
+        assert participant.decided
+        assert participant.decision == "z"
+        # Relays the decision to everyone exactly once.
+        decide_targets = {e.destination for e in effects if isinstance(e.message, Decide)}
+        assert decide_targets == {1, 3}
+
+    def test_foreign_message_rejected(self):
+        router = Router(n=3, f=1)
+        router.participants[1].propose("x")
+        with pytest.raises(ConsensusError):
+            router.participants[1].on_message(2, object())
+
+    def test_messages_before_propose_are_buffered_not_processed(self):
+        router = Router(n=3, f=1)
+        participant = router.participants[2]
+        effects = participant.on_message(1, Proposal(sender=1, round=1, value="q"))
+        assert effects == []
+        assert not participant.decided

@@ -1,0 +1,130 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Scheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_at(3.0, fired.append, "c")
+        scheduler.schedule_at(1.0, fired.append, "a")
+        scheduler.schedule_at(2.0, fired.append, "b")
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        scheduler = Scheduler()
+        fired = []
+        for tag in ("first", "second", "third"):
+            scheduler.schedule_at(1.0, fired.append, tag)
+        scheduler.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_now_tracks_current_event(self):
+        scheduler = Scheduler()
+        seen = []
+        scheduler.schedule_at(2.5, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [2.5]
+
+    def test_schedule_after_is_relative(self):
+        scheduler = Scheduler()
+        seen = []
+        scheduler.schedule_at(1.0, lambda: scheduler.schedule_after(0.5, lambda: seen.append(scheduler.now)))
+        scheduler.run()
+        assert seen == [1.5]
+
+    def test_scheduling_in_the_past_is_rejected(self):
+        scheduler = Scheduler()
+        scheduler.schedule_at(5.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_is_rejected(self):
+        with pytest.raises(SimulationError):
+            Scheduler().schedule_after(-1.0, lambda: None)
+
+
+class TestRunBounds:
+    def test_run_until_stops_before_later_events(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_at(1.0, fired.append, "early")
+        scheduler.schedule_at(10.0, fired.append, "late")
+        scheduler.run(until=5.0)
+        assert fired == ["early"]
+        assert scheduler.now == 5.0
+
+    def test_run_until_can_resume(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_at(1.0, fired.append, "a")
+        scheduler.schedule_at(10.0, fired.append, "b")
+        scheduler.run(until=5.0)
+        scheduler.run(until=15.0)
+        assert fired == ["a", "b"]
+
+    def test_run_until_in_the_past_is_rejected(self):
+        scheduler = Scheduler()
+        scheduler.schedule_at(5.0, lambda: None)
+        scheduler.run(until=5.0)
+        with pytest.raises(SimulationError):
+            scheduler.run(until=1.0)
+
+    def test_max_events_bounds_processing(self):
+        scheduler = Scheduler()
+        fired = []
+        for i in range(10):
+            scheduler.schedule_at(float(i), fired.append, i)
+        processed = scheduler.run(max_events=3)
+        assert processed == 3
+        assert fired == [0, 1, 2]
+
+    def test_stop_halts_the_loop(self):
+        scheduler = Scheduler()
+        fired = []
+
+        def first():
+            fired.append("x")
+            scheduler.stop()
+
+        scheduler.schedule_at(1.0, first)
+        scheduler.schedule_at(2.0, fired.append, "y")
+        scheduler.run()
+        assert fired == ["x"]
+
+    def test_events_processed_counter(self):
+        scheduler = Scheduler()
+        for i in range(4):
+            scheduler.schedule_at(float(i), lambda: None)
+        scheduler.run()
+        assert scheduler.events_processed == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        scheduler = Scheduler()
+        fired = []
+        handle = scheduler.schedule_at(1.0, fired.append, "no")
+        scheduler.schedule_at(2.0, fired.append, "yes")
+        assert handle.cancel() is True
+        scheduler.run()
+        assert fired == ["yes"]
+
+    def test_double_cancel_reports_false(self):
+        scheduler = Scheduler()
+        handle = scheduler.schedule_at(1.0, lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+
+    def test_pending_events_excludes_cancelled(self):
+        scheduler = Scheduler()
+        scheduler.schedule_at(1.0, lambda: None)
+        handle = scheduler.schedule_at(2.0, lambda: None)
+        handle.cancel()
+        assert scheduler.pending_events() == 1

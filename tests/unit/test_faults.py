@@ -1,0 +1,81 @@
+"""Unit tests for fault plans."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.faults import CrashFault, FaultPlan, MobilityFault, uniform_crashes
+
+
+class TestCrashFault:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrashFault(1, -1.0)
+
+    def test_duplicate_crash_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.of(crashes=[CrashFault(1, 1.0), CrashFault(1, 2.0)])
+
+
+class TestMobilityFault:
+    def test_arrival_must_follow_departure(self):
+        with pytest.raises(ConfigurationError):
+            MobilityFault(1, depart=5.0, arrive=5.0)
+
+    def test_never_returning_is_allowed(self):
+        fault = MobilityFault(1, depart=5.0, arrive=None)
+        assert fault.arrive is None
+
+
+class TestGroundTruth:
+    def test_correct_processes(self):
+        plan = FaultPlan.of(crashes=[CrashFault(2, 1.0)])
+        assert plan.correct_processes([1, 2, 3]) == frozenset({1, 3})
+
+    def test_crash_time(self):
+        plan = FaultPlan.of(crashes=[CrashFault(2, 1.5)])
+        assert plan.crash_time(2) == 1.5
+        assert plan.crash_time(1) is None
+
+    def test_crashed_by(self):
+        plan = FaultPlan.of(crashes=[CrashFault(2, 1.0), CrashFault(3, 5.0)])
+        assert plan.crashed_by(0.5) == frozenset()
+        assert plan.crashed_by(1.0) == frozenset({2})
+        assert plan.crashed_by(9.0) == frozenset({2, 3})
+
+    def test_empty_plan(self):
+        plan = FaultPlan.none()
+        assert plan.crashed_processes() == frozenset()
+
+
+class TestValidation:
+    def test_too_many_crashes_for_f(self):
+        plan = FaultPlan.of(crashes=[CrashFault(1, 1.0), CrashFault(2, 2.0)])
+        with pytest.raises(ConfigurationError):
+            plan.validate_against([1, 2, 3], f=1)
+
+    def test_non_member_crash(self):
+        plan = FaultPlan.of(crashes=[CrashFault(9, 1.0)])
+        with pytest.raises(ConfigurationError):
+            plan.validate_against([1, 2, 3], f=1)
+
+    def test_non_member_move(self):
+        plan = FaultPlan.of(moves=[MobilityFault(9, 1.0, 2.0)])
+        with pytest.raises(ConfigurationError):
+            plan.validate_against([1, 2, 3], f=1)
+
+    def test_valid_plan_passes(self):
+        plan = FaultPlan.of(crashes=[CrashFault(1, 1.0)])
+        plan.validate_against([1, 2, 3], f=1)
+
+
+class TestUniformCrashes:
+    def test_times_within_window(self):
+        plan = uniform_crashes([1, 2, 3], random.Random(4), start=5.0, end=10.0)
+        assert all(5.0 <= fault.time <= 10.0 for fault in plan.crashes)
+        assert plan.crashed_processes() == frozenset({1, 2, 3})
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform_crashes([1], random.Random(4), start=10.0, end=5.0)

@@ -1,0 +1,128 @@
+"""Unit tests for the all-to-all heartbeat baseline (sans-I/O core)."""
+
+import pytest
+
+from repro.baselines.heartbeat import Heartbeat, HeartbeatDetector
+from repro.core.effects import Broadcast
+from repro.errors import ConfigurationError
+
+
+def make(pid=1, n=3, **kwargs):
+    return HeartbeatDetector(pid, frozenset(range(1, n + 1)), **kwargs)
+
+
+class TestConfig:
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            make(period=0.0)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ConfigurationError):
+            make(timeout=-1.0)
+
+    def test_name_reflects_adaptivity(self):
+        assert make().name == "heartbeat"
+        assert make(adaptive=True).name == "heartbeat(adaptive)"
+
+
+class TestBeats:
+    def test_start_broadcasts_first_beat(self):
+        detector = make(period=1.0)
+        effects = detector.start(0.0)
+        assert len(effects) == 1
+        assert isinstance(effects[0], Broadcast)
+        assert effects[0].message == Heartbeat(sender=1, seq=1)
+
+    def test_beats_are_periodic(self):
+        detector = make(period=1.0, timeout=10.0)
+        detector.start(0.0)
+        assert detector.next_wakeup() == 1.0
+        effects = detector.on_wakeup(1.0)
+        assert effects[0].message.seq == 2
+
+    def test_wakeup_before_beat_time_sends_nothing(self):
+        detector = make(period=1.0, timeout=10.0)
+        detector.start(0.0)
+        assert detector.on_wakeup(0.5) == []
+
+
+class TestSuspicion:
+    def test_silent_peer_is_suspected_after_timeout(self):
+        detector = make(period=1.0, timeout=2.0)
+        detector.start(0.0)
+        detector.on_message(0.1, 2, Heartbeat(sender=2, seq=1))
+        detector.on_wakeup(2.0)  # peer 3 never spoke: deadline was 0 + 2.0
+        assert detector.suspects() == frozenset({3})
+
+    def test_heartbeat_refreshes_deadline(self):
+        detector = make(period=1.0, timeout=2.0)
+        detector.start(0.0)
+        detector.on_message(1.9, 2, Heartbeat(sender=2, seq=1))
+        detector.on_message(1.9, 3, Heartbeat(sender=3, seq=1))
+        detector.on_wakeup(2.5)
+        assert detector.suspects() == frozenset()
+
+    def test_late_heartbeat_clears_suspicion(self):
+        detector = make(period=1.0, timeout=2.0)
+        detector.start(0.0)
+        detector.on_wakeup(2.0)
+        assert 2 in detector.suspects()
+        detector.on_message(2.5, 2, Heartbeat(sender=2, seq=1))
+        assert 2 not in detector.suspects()
+
+    def test_stale_reordered_beat_is_ignored(self):
+        detector = make(period=1.0, timeout=2.0)
+        detector.start(0.0)
+        detector.on_message(0.1, 2, Heartbeat(sender=2, seq=5))
+        detector.on_wakeup(2.0)
+        suspects_before = detector.suspects()
+        # An old datagram (seq 3) arrives after suspicion: must not clear it.
+        detector.on_message(2.1, 2, Heartbeat(sender=2, seq=3))
+        assert detector.suspects() == suspects_before
+
+    def test_foreign_message_is_ignored(self):
+        detector = make()
+        detector.start(0.0)
+        assert detector.on_message(0.1, 2, object()) == []
+
+    def test_unknown_sender_is_ignored(self):
+        detector = make()
+        detector.start(0.0)
+        assert detector.on_message(0.1, 99, Heartbeat(sender=99, seq=1)) == []
+
+
+class TestNextWakeup:
+    def test_earliest_of_beat_and_deadlines(self):
+        detector = make(period=1.0, timeout=2.0)
+        detector.start(0.0)
+        # Next beat at 1.0, deadlines at 2.0 -> beat wins.
+        assert detector.next_wakeup() == 1.0
+
+    def test_suspected_peers_do_not_hold_timers(self):
+        detector = make(n=2, period=5.0, timeout=2.0)
+        detector.start(0.0)
+        detector.on_wakeup(2.0)
+        assert detector.suspects() == frozenset({2})
+        # Only the beat timer remains.
+        assert detector.next_wakeup() == 5.0
+
+    def test_not_started_has_no_wakeup(self):
+        assert make().next_wakeup() is None
+
+
+class TestAdaptiveTimeout:
+    def test_false_suspicion_grows_timeout(self):
+        detector = make(period=1.0, timeout=2.0, adaptive=True, timeout_increment=0.5)
+        detector.start(0.0)
+        detector.on_wakeup(2.0)
+        assert 2 in detector.suspects()
+        detector.on_message(2.5, 2, Heartbeat(sender=2, seq=1))
+        assert detector.timeout_of(2) == 2.5
+        assert detector.timeout_of(3) == 2.0  # per-peer adaptation
+
+    def test_non_adaptive_timeout_is_constant(self):
+        detector = make(period=1.0, timeout=2.0, adaptive=False)
+        detector.start(0.0)
+        detector.on_wakeup(2.0)
+        detector.on_message(2.5, 2, Heartbeat(sender=2, seq=1))
+        assert detector.timeout_of(2) == 2.0

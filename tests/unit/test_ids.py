@@ -1,0 +1,59 @@
+"""Unit tests for process id and membership helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MembershipError
+from repro.ids import coordinator_of_round, make_membership, validate_membership
+
+
+class TestMakeMembership:
+    def test_canonical_range(self):
+        assert make_membership(3) == (1, 2, 3)
+
+    def test_custom_start(self):
+        assert make_membership(2, start=10) == (10, 11)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            make_membership(0)
+
+
+class TestValidateMembership:
+    def test_returns_frozenset(self):
+        members = validate_membership([1, 2, 3])
+        assert members == frozenset({1, 2, 3})
+
+    def test_member_check(self):
+        with pytest.raises(MembershipError):
+            validate_membership([1, 2], process_id=3)
+
+    def test_f_bounds(self):
+        validate_membership([1, 2, 3], f=2)
+        with pytest.raises(ConfigurationError):
+            validate_membership([1, 2, 3], f=3)
+        with pytest.raises(ConfigurationError):
+            validate_membership([1, 2, 3], f=-1)
+
+    def test_empty_membership(self):
+        with pytest.raises(ConfigurationError):
+            validate_membership([])
+
+
+class TestCoordinatorRotation:
+    def test_rotates_in_sorted_order(self):
+        members = [3, 1, 2]
+        assert coordinator_of_round(1, members) == 1
+        assert coordinator_of_round(2, members) == 2
+        assert coordinator_of_round(3, members) == 3
+        assert coordinator_of_round(4, members) == 1
+
+    def test_rounds_are_one_based(self):
+        with pytest.raises(ConfigurationError):
+            coordinator_of_round(0, [1, 2])
+
+    def test_string_ids(self):
+        assert coordinator_of_round(1, ["b", "a"]) == "a"
+
+    def test_empty_membership(self):
+        with pytest.raises(ConfigurationError):
+            coordinator_of_round(1, [])

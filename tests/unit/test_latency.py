@@ -1,0 +1,165 @@
+"""Unit tests for the latency models."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.latency import (
+    BiasedLatency,
+    ConstantLatency,
+    ExponentialLatency,
+    LogNormalLatency,
+    PairwiseLatency,
+    ParetoLatency,
+    RegimeShiftLatency,
+    UniformLatency,
+)
+
+
+def draws(model, count=2000, seed=7, src=1, dst=2):
+    rng = random.Random(seed)
+    return [model.sample(rng, src, dst) for _ in range(count)]
+
+
+class TestConstant:
+    def test_no_jitter_is_exact(self):
+        assert draws(ConstantLatency(0.5), count=5) == [0.5] * 5
+
+    def test_jitter_stays_in_band(self):
+        values = draws(ConstantLatency(0.5, jitter=0.2))
+        assert all(0.5 <= v <= 0.7 for v in values)
+
+    def test_mean(self):
+        assert ConstantLatency(0.5, jitter=0.2).mean() == pytest.approx(0.6)
+
+    def test_rejects_nonpositive_delay(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(0.0)
+
+
+class TestUniform:
+    def test_band(self):
+        values = draws(UniformLatency(0.1, 0.3))
+        assert all(0.1 <= v <= 0.3 for v in values)
+
+    def test_mean(self):
+        assert UniformLatency(0.1, 0.3).mean() == pytest.approx(0.2)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(0.3, 0.1)
+
+
+class TestExponential:
+    def test_empirical_mean_close_to_parameter(self):
+        values = draws(ExponentialLatency(mean=0.01), count=20_000)
+        assert sum(values) / len(values) == pytest.approx(0.01, rel=0.05)
+
+    def test_floor_is_respected(self):
+        values = draws(ExponentialLatency(mean=0.01, floor=0.005))
+        assert all(v >= 0.005 for v in values)
+
+    def test_mean_includes_floor(self):
+        assert ExponentialLatency(0.01, floor=0.005).mean() == pytest.approx(0.015)
+
+
+class TestLogNormal:
+    def test_median_is_respected(self):
+        values = sorted(draws(LogNormalLatency(median=0.01, sigma=1.0), count=20_000))
+        empirical_median = values[len(values) // 2]
+        assert empirical_median == pytest.approx(0.01, rel=0.1)
+
+    def test_sigma_zero_degenerates_to_median(self):
+        values = draws(LogNormalLatency(median=0.01, sigma=0.0), count=10)
+        assert all(v == pytest.approx(0.01) for v in values)
+
+    def test_mean_formula(self):
+        model = LogNormalLatency(median=0.01, sigma=1.0)
+        assert model.mean() == pytest.approx(0.01 * math.exp(0.5))
+
+
+class TestPareto:
+    def test_minimum_is_scale(self):
+        values = draws(ParetoLatency(scale=0.002, shape=2.0))
+        assert all(v >= 0.002 for v in values)
+
+    def test_infinite_mean_below_shape_one(self):
+        assert ParetoLatency(scale=1.0, shape=0.9).mean() == math.inf
+
+    def test_finite_mean(self):
+        assert ParetoLatency(scale=1.0, shape=3.0).mean() == pytest.approx(1.5)
+
+
+class TestBiased:
+    def test_favored_sender_is_faster(self):
+        model = BiasedLatency(ConstantLatency(0.8), frozenset({1}), speedup=4.0)
+        rng = random.Random(1)
+        assert model.sample(rng, 1, 2) == pytest.approx(0.2)
+        assert model.sample(rng, 2, 3) == pytest.approx(0.8)
+
+    def test_bidirectional_speeds_up_inbound_too(self):
+        model = BiasedLatency(
+            ConstantLatency(0.8), frozenset({1}), speedup=4.0, bidirectional=True
+        )
+        rng = random.Random(1)
+        assert model.sample(rng, 2, 1) == pytest.approx(0.2)
+
+    def test_unidirectional_leaves_inbound_alone(self):
+        model = BiasedLatency(
+            ConstantLatency(0.8), frozenset({1}), speedup=4.0, bidirectional=False
+        )
+        rng = random.Random(1)
+        assert model.sample(rng, 2, 1) == pytest.approx(0.8)
+
+    def test_slowdown_with_speedup_below_one(self):
+        model = BiasedLatency(ConstantLatency(0.8), frozenset({1}), speedup=0.5)
+        rng = random.Random(1)
+        assert model.sample(rng, 1, 2) == pytest.approx(1.6)
+
+    def test_rejects_nonpositive_speedup(self):
+        with pytest.raises(ConfigurationError):
+            BiasedLatency(ConstantLatency(1.0), frozenset(), speedup=0.0)
+
+
+class TestPairwise:
+    def test_override_applies_to_directed_pair(self):
+        model = PairwiseLatency(
+            ConstantLatency(0.1), {(1, 2): ConstantLatency(0.9)}
+        )
+        rng = random.Random(1)
+        assert model.sample(rng, 1, 2) == pytest.approx(0.9)
+        assert model.sample(rng, 2, 1) == pytest.approx(0.1)
+
+
+class TestRegimeShift:
+    def test_before_shift_uses_base(self):
+        model = RegimeShiftLatency(ConstantLatency(0.1), shift_at=10.0, factor=5.0)
+        rng = random.Random(1)
+        assert model.sample_at(rng, 1, 2, now=9.9) == pytest.approx(0.1)
+
+    def test_after_shift_multiplies(self):
+        model = RegimeShiftLatency(ConstantLatency(0.1), shift_at=10.0, factor=5.0)
+        rng = random.Random(1)
+        assert model.sample_at(rng, 1, 2, now=10.0) == pytest.approx(0.5)
+
+    def test_plain_sample_is_rejected(self):
+        model = RegimeShiftLatency(ConstantLatency(0.1), shift_at=10.0, factor=5.0)
+        with pytest.raises(ConfigurationError):
+            model.sample(random.Random(1), 1, 2)
+
+    def test_composes_under_bias(self):
+        # BiasedLatency must propagate the time-aware path to its base.
+        shifted = RegimeShiftLatency(ConstantLatency(0.4), shift_at=5.0, factor=10.0)
+        model = BiasedLatency(shifted, frozenset({1}), speedup=4.0)
+        rng = random.Random(1)
+        assert model.sample_at(rng, 1, 2, now=6.0) == pytest.approx(1.0)
+        assert model.sample_at(rng, 2, 3, now=6.0) == pytest.approx(4.0)
+
+
+class TestDefaultSampleAt:
+    def test_stationary_models_ignore_time(self):
+        model = ConstantLatency(0.3)
+        rng = random.Random(1)
+        assert model.sample_at(rng, 1, 2, now=999.0) == pytest.approx(0.3)

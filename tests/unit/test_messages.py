@@ -1,0 +1,93 @@
+"""Codec round-trips and registry behavior for wire messages."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.messages import (
+    Query,
+    Response,
+    decode_message,
+    encode_message,
+    message_kind,
+    register_message,
+)
+from repro.errors import TransportError
+
+
+class TestCodec:
+    def test_query_round_trip(self):
+        query = Query(
+            sender=1,
+            round_id=42,
+            suspected=((2, 5), (3, 9)),
+            mistakes=((4, 1),),
+        )
+        assert decode_message(encode_message(query)) == query
+
+    def test_response_round_trip(self):
+        response = Response(sender=7, round_id=3)
+        assert decode_message(encode_message(response)) == response
+
+    def test_string_process_ids_round_trip(self):
+        query = Query(sender="node-a", round_id=1, suspected=(("node-b", 2),), mistakes=())
+        assert decode_message(encode_message(query)) == query
+
+    def test_extra_payload_round_trips(self):
+        query = Query(
+            sender=1,
+            round_id=1,
+            suspected=(),
+            mistakes=(),
+            extra=(("omega.accusations", ((1, 0), (2, 3))),),
+        )
+        decoded = decode_message(encode_message(query))
+        assert decoded.extra_payload() == {"omega.accusations": ((1, 0), (2, 3))}
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(TransportError):
+            decode_message(b'{"kind":"no.such.kind"}')
+
+    def test_malformed_payload_is_rejected(self):
+        with pytest.raises(TransportError):
+            decode_message(b"not json at all")
+
+    def test_missing_field_is_rejected(self):
+        with pytest.raises(TransportError):
+            decode_message(b'{"kind":"fd.response","sender":1}')
+
+    def test_payload_without_kind_is_rejected(self):
+        with pytest.raises(TransportError):
+            decode_message(b'{"sender":1}')
+
+    def test_unregistered_message_cannot_be_encoded(self):
+        @dataclasses.dataclass(frozen=True)
+        class NotRegistered:
+            x: int
+
+        with pytest.raises(TransportError):
+            encode_message(NotRegistered(1))
+
+
+class TestRegistry:
+    def test_message_kind_lookup(self):
+        assert message_kind(Response(sender=1, round_id=1)) == "fd.response"
+
+    def test_duplicate_kind_is_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_message("fd.query")
+            @dataclasses.dataclass(frozen=True)
+            class Clash:
+                x: int
+
+    def test_non_dataclass_is_rejected(self):
+        with pytest.raises(TypeError):
+
+            @register_message("bogus.kind")
+            class NotADataclass:
+                pass
+
+    def test_reregistering_same_class_is_idempotent(self):
+        # Simulates a module reload: same class object, same kind.
+        assert register_message("fd.query")(Query) is Query

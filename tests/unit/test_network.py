@@ -1,0 +1,142 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Scheduler
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import SimNetwork
+from repro.sim.rng import RngStreams
+from repro.sim.topology import Topology, full_mesh, ring
+
+
+def make_network(topology=None, *, latency=None, loss_rate=0.0, seed=1):
+    scheduler = Scheduler()
+    network = SimNetwork(
+        scheduler,
+        topology if topology is not None else full_mesh([1, 2, 3]),
+        latency if latency is not None else ConstantLatency(0.5),
+        RngStreams(seed),
+        loss_rate=loss_rate,
+    )
+    return scheduler, network
+
+
+class TestDelivery:
+    def test_send_delivers_after_latency(self):
+        scheduler, network = make_network()
+        inbox = []
+        network.register(2, lambda src, msg: inbox.append((scheduler.now, src, msg)))
+        network.send(1, 2, "hello")
+        scheduler.run()
+        assert inbox == [(0.5, 1, "hello")]
+
+    def test_broadcast_reaches_only_neighbors(self):
+        topo = ring([1, 2, 3, 4])
+        scheduler, network = make_network(topo)
+        inboxes = {pid: [] for pid in (2, 3, 4)}
+        for pid in inboxes:
+            network.register(pid, lambda src, msg, pid=pid: inboxes[pid].append(msg))
+        sent = network.broadcast(1, "q")
+        scheduler.run()
+        assert sent == 2
+        assert inboxes[2] == ["q"]
+        assert inboxes[4] == ["q"]
+        assert inboxes[3] == []  # not a 1-hop neighbor on the ring
+
+    def test_send_to_non_neighbor_is_dropped(self):
+        topo = ring([1, 2, 3, 4])
+        scheduler, network = make_network(topo)
+        inbox = []
+        network.register(3, lambda src, msg: inbox.append(msg))
+        assert network.send(1, 3, "x") is False
+        scheduler.run()
+        assert inbox == []
+        assert network.trace.messages_dropped == 1
+
+    def test_unregistered_destination_drops_at_delivery(self):
+        scheduler, network = make_network()
+        assert network.send(1, 2, "x") is True
+        scheduler.run()
+        assert network.trace.messages_dropped == 1
+
+    def test_message_counting(self):
+        scheduler, network = make_network()
+        network.register(2, lambda src, msg: None)
+        network.send(1, 2, "a")
+        network.send(1, 2, "b")
+        assert network.trace.messages_total == 2
+        assert network.trace.messages_by_sender[1] == 2
+
+
+class TestMobility:
+    def test_detached_sender_cannot_transmit(self):
+        scheduler, network = make_network()
+        inbox = []
+        network.register(2, lambda src, msg: inbox.append(msg))
+        network.detach(1)
+        assert network.send(1, 2, "x") is False
+        scheduler.run()
+        assert inbox == []
+
+    def test_detached_receiver_drops_at_delivery(self):
+        scheduler, network = make_network()
+        inbox = []
+        network.register(2, lambda src, msg: inbox.append(msg))
+        network.send(1, 2, "x")  # on the wire
+        network.detach(2)  # detaches before delivery
+        scheduler.run()
+        assert inbox == []
+
+    def test_reattached_node_receives_again(self):
+        scheduler, network = make_network()
+        inbox = []
+        network.register(2, lambda src, msg: inbox.append(msg))
+        network.detach(2)
+        network.attach(2)
+        network.send(1, 2, "x")
+        scheduler.run()
+        assert inbox == ["x"]
+
+    def test_is_attached(self):
+        _, network = make_network()
+        assert network.is_attached(1)
+        network.detach(1)
+        assert not network.is_attached(1)
+
+
+class TestLoss:
+    def test_full_reliability_by_default(self):
+        scheduler, network = make_network()
+        inbox = []
+        network.register(2, lambda src, msg: inbox.append(msg))
+        for _ in range(50):
+            network.send(1, 2, "x")
+        scheduler.run()
+        assert len(inbox) == 50
+
+    def test_loss_rate_drops_some(self):
+        scheduler, network = make_network(loss_rate=0.5)
+        inbox = []
+        network.register(2, lambda src, msg: inbox.append(msg))
+        for _ in range(200):
+            network.send(1, 2, "x")
+        scheduler.run()
+        assert 40 < len(inbox) < 160
+
+    def test_invalid_loss_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            make_network(loss_rate=1.0)
+
+
+class TestRegistration:
+    def test_double_registration_rejected(self):
+        _, network = make_network()
+        network.register(1, lambda src, msg: None)
+        with pytest.raises(SimulationError):
+            network.register(1, lambda src, msg: None)
+
+    def test_unknown_node_registration_rejected(self):
+        _, network = make_network()
+        with pytest.raises(SimulationError):
+            network.register(99, lambda src, msg: None)

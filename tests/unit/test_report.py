@@ -1,0 +1,63 @@
+"""Unit tests for experiment table rendering."""
+
+import pytest
+
+from repro.experiments.report import Table, fmt
+
+
+class TestFmt:
+    def test_none_is_dash(self):
+        assert fmt(None) == "-"
+
+    def test_float_precision(self):
+        assert fmt(1.23456) == "1.235"
+        assert fmt(1.2, precision=1) == "1.2"
+
+    def test_bool_is_yes_no(self):
+        assert fmt(True) == "yes"
+        assert fmt(False) == "no"
+
+    def test_nan(self):
+        assert fmt(float("nan")) == "nan"
+
+    def test_strings_pass_through(self):
+        assert fmt("x") == "x"
+
+
+class TestTable:
+    def make(self):
+        table = Table(title="T", headers=["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", None)
+        return table
+
+    def test_row_arity_checked(self):
+        table = Table(title="T", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_access(self):
+        table = self.make()
+        assert table.column("a") == [1, "x"]
+
+    def test_unknown_column(self):
+        with pytest.raises(ValueError):
+            self.make().column("zzz")
+
+    def test_render_contains_all_cells(self):
+        text = self.make().render()
+        assert "T" in text
+        assert "2.500" in text
+        assert "-" in text
+
+    def test_render_markdown_shape(self):
+        md = self.make().render_markdown()
+        lines = md.splitlines()
+        assert lines[2].startswith("| a | b |")
+        assert lines[3].count("---") == 2
+
+    def test_notes_rendered(self):
+        table = self.make()
+        table.add_note("hello note")
+        assert "hello note" in table.render()
+        assert "hello note" in table.render_markdown()

@@ -1,0 +1,41 @@
+"""Unit tests for seeded random streams."""
+
+from repro.sim.rng import RngStreams
+
+
+class TestStreams:
+    def test_same_name_returns_same_stream_object(self):
+        streams = RngStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_different_names_are_independent(self):
+        streams = RngStreams(1)
+        a = streams.stream("a")
+        b = streams.stream("b")
+        assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+    def test_same_seed_reproduces_draws(self):
+        first = RngStreams(42).stream("net").random()
+        second = RngStreams(42).stream("net").random()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert RngStreams(1).stream("net").random() != RngStreams(2).stream("net").random()
+
+    def test_adding_a_consumer_does_not_perturb_existing_streams(self):
+        # The whole point of named streams: draws of "a" are identical
+        # whether or not someone else ever touches "b".
+        lone = RngStreams(7)
+        seq_alone = [lone.stream("a").random() for _ in range(5)]
+        shared = RngStreams(7)
+        shared.stream("b").random()  # extra consumer
+        seq_shared = [shared.stream("a").random() for _ in range(5)]
+        assert seq_alone == seq_shared
+
+    def test_multipart_names(self):
+        streams = RngStreams(1)
+        assert streams.stream("net", 1, "delay") is streams.stream("net", 1, "delay")
+        assert streams.stream("net", 1) is not streams.stream("net", 2)
+
+    def test_seed_property(self):
+        assert RngStreams(9).seed == 9

@@ -1,0 +1,238 @@
+"""Unit tests for the counter-tagged suspicion/mistake state.
+
+Each test cross-references the line of Algorithm 1 whose semantics it pins
+down.
+"""
+
+import pytest
+
+from repro.core.tags import MergeOutcome, SuspicionState, TaggedSet
+
+
+class TestTaggedSet:
+    def test_add_replaces_existing_record(self):
+        ts = TaggedSet()
+        ts.add("a", 1)
+        ts.add("a", 7)
+        assert ts.tag_of("a") == 7
+        assert len(ts) == 1
+
+    def test_discard_reports_presence(self):
+        ts = TaggedSet([("a", 1)])
+        assert ts.discard("a") is True
+        assert ts.discard("a") is False
+        assert "a" not in ts
+
+    def test_snapshot_is_sorted_and_immutable(self):
+        ts = TaggedSet([("b", 2), ("a", 1)])
+        snap = ts.snapshot()
+        assert snap == (("a", 1), ("b", 2))
+        ts.add("c", 3)
+        assert snap == (("a", 1), ("b", 2))
+
+    def test_ids_and_max_tag(self):
+        ts = TaggedSet([("a", 5), ("b", 9)])
+        assert ts.ids() == frozenset({"a", "b"})
+        assert ts.max_tag() == 9
+        assert TaggedSet().max_tag() is None
+
+    def test_copy_is_independent(self):
+        ts = TaggedSet([("a", 1)])
+        clone = ts.copy()
+        clone.add("a", 2)
+        assert ts.tag_of("a") == 1
+
+    def test_equality(self):
+        assert TaggedSet([("a", 1)]) == TaggedSet({"a": 1})
+        assert TaggedSet([("a", 1)]) != TaggedSet([("a", 2)])
+
+    def test_iteration_order_is_deterministic(self):
+        ts = TaggedSet([(3, 1), (1, 2), (2, 3)])
+        assert [pid for pid, _ in ts] == [1, 2, 3]
+
+    def test_constructor_from_mapping(self):
+        ts = TaggedSet({"x": 4})
+        assert ts.tag_of("x") == 4
+
+
+class TestLocalSuspicion:
+    """Lines 9-15: suspicions raised at the end of a query round."""
+
+    def test_fresh_suspicion_uses_current_counter(self):
+        state = SuspicionState(owner=1)
+        state.counter = 5
+        result = state.suspect_locally(2)
+        assert result.outcome is MergeOutcome.SUSPICION_ADOPTED
+        assert state.suspected.tag_of(2) == 5
+
+    def test_already_suspected_is_ignored(self):
+        state = SuspicionState(owner=1)
+        state.suspect_locally(2)
+        before = state.suspected.tag_of(2)
+        result = state.suspect_locally(2)
+        assert result.outcome is MergeOutcome.IGNORED
+        assert state.suspected.tag_of(2) == before
+
+    def test_mistake_record_bumps_counter_past_its_tag(self):
+        # Lines 10-12: a prior mistake <p, c> forces counter >= c + 1 so the
+        # new suspicion supersedes the stale refutation.
+        state = SuspicionState(owner=1)
+        state.mistakes.add(2, 9)
+        state.counter = 3
+        state.suspect_locally(2)
+        assert state.counter == 10
+        assert state.suspected.tag_of(2) == 10
+        assert 2 not in state.mistakes
+
+    def test_mistake_with_lower_tag_does_not_lower_counter(self):
+        state = SuspicionState(owner=1)
+        state.mistakes.add(2, 1)
+        state.counter = 8
+        state.suspect_locally(2)
+        assert state.counter == 8
+        assert state.suspected.tag_of(2) == 8
+
+    def test_never_suspects_self(self):
+        state = SuspicionState(owner=1)
+        with pytest.raises(ValueError):
+            state.suspect_locally(1)
+
+    def test_end_round_increments_counter(self):
+        state = SuspicionState(owner=1)
+        assert state.end_round() == 1
+        assert state.end_round() == 2
+
+
+class TestRemoteSuspicionMerge:
+    """Lines 21-31: merging a received ``suspected_j`` record."""
+
+    def test_unknown_process_is_adopted(self):
+        state = SuspicionState(owner=1)
+        result = state.merge_remote_suspicion(3, 7)
+        assert result.outcome is MergeOutcome.SUSPICION_ADOPTED
+        assert state.suspected.tag_of(3) == 7
+
+    def test_strictly_newer_tag_replaces_older_suspicion(self):
+        state = SuspicionState(owner=1)
+        state.merge_remote_suspicion(3, 5)
+        state.merge_remote_suspicion(3, 9)
+        assert state.suspected.tag_of(3) == 9
+
+    def test_equal_tag_suspicion_is_ignored(self):
+        # Line 22 requires counter < counter_x (strict).
+        state = SuspicionState(owner=1)
+        state.merge_remote_suspicion(3, 5)
+        result = state.merge_remote_suspicion(3, 5)
+        assert result.outcome is MergeOutcome.IGNORED
+
+    def test_older_tag_is_ignored(self):
+        state = SuspicionState(owner=1)
+        state.merge_remote_suspicion(3, 5)
+        result = state.merge_remote_suspicion(3, 4)
+        assert result.outcome is MergeOutcome.IGNORED
+        assert state.suspected.tag_of(3) == 5
+
+    def test_newer_suspicion_cancels_standing_mistake(self):
+        # Lines 27-28: adopting a suspicion removes the mistake record.
+        state = SuspicionState(owner=1)
+        state.mistakes.add(3, 4)
+        result = state.merge_remote_suspicion(3, 6)
+        assert result.outcome is MergeOutcome.SUSPICION_ADOPTED
+        assert 3 not in state.mistakes
+
+    def test_suspicion_not_newer_than_mistake_is_ignored(self):
+        state = SuspicionState(owner=1)
+        state.mistakes.add(3, 6)
+        result = state.merge_remote_suspicion(3, 6)
+        assert result.outcome is MergeOutcome.IGNORED
+        assert 3 in state.mistakes
+
+    def test_self_suspicion_triggers_refutation(self):
+        # Lines 23-25: pi adds itself to mistake_i with counter past the tag.
+        state = SuspicionState(owner=1)
+        state.counter = 2
+        result = state.merge_remote_suspicion(1, 10)
+        assert result.outcome is MergeOutcome.SELF_REFUTED
+        assert state.counter == 11
+        assert state.mistakes.tag_of(1) == 11
+        assert 1 not in state.suspected
+
+    def test_self_refutation_keeps_higher_local_counter(self):
+        state = SuspicionState(owner=1)
+        state.counter = 50
+        state.merge_remote_suspicion(1, 10)
+        assert state.counter == 50
+        assert state.mistakes.tag_of(1) == 50
+
+    def test_stale_self_suspicion_is_ignored_after_refutation(self):
+        state = SuspicionState(owner=1)
+        state.merge_remote_suspicion(1, 10)
+        refuted_tag = state.mistakes.tag_of(1)
+        result = state.merge_remote_suspicion(1, 10)
+        assert result.outcome is MergeOutcome.IGNORED
+        assert state.mistakes.tag_of(1) == refuted_tag
+
+
+class TestRemoteMistakeMerge:
+    """Lines 32-37: merging a received ``mistake_j`` record."""
+
+    def test_unknown_process_mistake_is_adopted(self):
+        state = SuspicionState(owner=1)
+        result = state.merge_remote_mistake(4, 3)
+        assert result.outcome is MergeOutcome.MISTAKE_ADOPTED
+        assert state.mistakes.tag_of(4) == 3
+
+    def test_equal_tag_mistake_wins_over_suspicion(self):
+        # Line 33 uses <= : on a tie the mistake takes precedence.
+        state = SuspicionState(owner=1)
+        state.merge_remote_suspicion(4, 5)
+        result = state.merge_remote_mistake(4, 5)
+        assert result.outcome is MergeOutcome.MISTAKE_ADOPTED
+        assert 4 not in state.suspected
+        assert state.mistakes.tag_of(4) == 5
+
+    def test_older_mistake_is_ignored(self):
+        state = SuspicionState(owner=1)
+        state.merge_remote_suspicion(4, 5)
+        result = state.merge_remote_mistake(4, 4)
+        assert result.outcome is MergeOutcome.IGNORED
+        assert 4 in state.suspected
+
+    def test_mistake_clears_suspicion(self):
+        state = SuspicionState(owner=1)
+        state.merge_remote_suspicion(4, 5)
+        state.merge_remote_mistake(4, 8)
+        assert state.suspects() == frozenset()
+        assert state.mistakes.tag_of(4) == 8
+
+    def test_identical_mistake_is_not_readopted(self):
+        # Lemma 4 relies on a repeated mistake failing line 33's predicate;
+        # the <= only applies against a *suspicion* with the same tag.
+        state = SuspicionState(owner=1)
+        first = state.merge_remote_mistake(4, 5)
+        second = state.merge_remote_mistake(4, 5)
+        assert first.outcome is MergeOutcome.MISTAKE_ADOPTED
+        assert second.outcome is MergeOutcome.IGNORED
+
+    def test_strictly_newer_mistake_replaces_mistake(self):
+        state = SuspicionState(owner=1)
+        state.merge_remote_mistake(4, 5)
+        result = state.merge_remote_mistake(4, 6)
+        assert result.outcome is MergeOutcome.MISTAKE_ADOPTED
+        assert state.mistakes.tag_of(4) == 6
+
+
+class TestInvariants:
+    def test_fresh_state_is_healthy(self):
+        assert SuspicionState(owner=1).invariant_violations() == []
+
+    def test_overlap_is_reported(self):
+        state = SuspicionState(owner=1)
+        state.suspected.add(2, 1)
+        state.mistakes.add(2, 1)
+        assert any("overlap" in p for p in state.invariant_violations())
+
+    def test_self_suspicion_is_reported(self):
+        state = SuspicionState(owner=1)
+        state.suspected.add(1, 1)
+        assert any("suspects itself" in p for p in state.invariant_violations())

@@ -1,0 +1,161 @@
+"""Unit tests for topologies and the f-covering MANET construction."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.sim.topology import (
+    Topology,
+    full_mesh,
+    grid,
+    manet_topology,
+    random_geometric,
+    ring,
+    star,
+)
+
+
+class TestTopologyBasics:
+    def test_neighbors_and_degree(self):
+        topo = Topology([1, 2, 3], [(1, 2), (2, 3)])
+        assert topo.neighbors(2) == frozenset({1, 3})
+        assert topo.degree(1) == 1
+
+    def test_unknown_node_raises(self):
+        topo = Topology([1, 2], [(1, 2)])
+        with pytest.raises(TopologyError):
+            topo.neighbors(9)
+
+    def test_self_loop_rejected(self):
+        topo = Topology([1, 2])
+        with pytest.raises(TopologyError):
+            topo.add_edge(1, 1)
+
+    def test_edge_to_unknown_node_rejected(self):
+        topo = Topology([1, 2])
+        with pytest.raises(TopologyError):
+            topo.add_edge(1, 9)
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology([])
+
+    def test_isolate_returns_former_neighborhood(self):
+        topo = ring([1, 2, 3, 4])
+        former = topo.isolate(1)
+        assert former == frozenset({2, 4})
+        assert topo.degree(1) == 0
+
+    def test_connect_restores_edges(self):
+        topo = ring([1, 2, 3, 4])
+        former = topo.isolate(1)
+        topo.connect(1, former)
+        assert topo.neighbors(1) == frozenset({2, 4})
+
+    def test_copy_is_deep_for_edges(self):
+        topo = ring([1, 2, 3])
+        clone = topo.copy()
+        clone.remove_edge(1, 2)
+        assert topo.has_edge(1, 2)
+
+    def test_edges_are_undirected_and_unique(self):
+        topo = full_mesh([1, 2, 3])
+        assert len(list(topo.edges())) == 3
+
+
+class TestDensityAndConnectivity:
+    def test_range_density_is_min_degree_plus_one(self):
+        # Definition 2: |range_i| = degree + 1.
+        topo = star([1, 2, 3, 4])
+        assert topo.range_density() == 2  # leaves have degree 1
+
+    def test_full_mesh_connectivity(self):
+        topo = full_mesh(range(1, 6))
+        assert topo.node_connectivity() == 4
+        assert topo.is_f_covering(3)
+        assert not topo.is_f_covering(4)
+
+    def test_ring_is_1_covering_only(self):
+        topo = ring(range(1, 7))
+        assert topo.node_connectivity() == 2
+        assert topo.is_f_covering(1)
+        assert not topo.is_f_covering(2)
+
+    def test_is_connected(self):
+        topo = Topology([1, 2, 3], [(1, 2)])
+        assert not topo.is_connected()
+        topo.add_edge(2, 3)
+        assert topo.is_connected()
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ConfigurationError):
+            full_mesh([1, 2]).is_f_covering(-1)
+
+
+class TestConstructors:
+    def test_full_mesh_edge_count(self):
+        topo = full_mesh(range(1, 11))
+        assert len(list(topo.edges())) == 45
+
+    def test_ring_needs_three_nodes(self):
+        with pytest.raises(ConfigurationError):
+            ring([1, 2])
+
+    def test_grid_shape(self):
+        topo = grid(3, 2)
+        assert len(topo) == 6
+        # corner degree 2, middle of short side degree 3
+        assert topo.degree(1) == 2
+        assert topo.degree(2) == 3
+
+    def test_star_hub(self):
+        topo = star(["hub", "a", "b"])
+        assert topo.degree("hub") == 2
+        assert not topo.has_edge("a", "b")
+
+    def test_random_geometric_edges_respect_range(self):
+        rng = random.Random(5)
+        topo = random_geometric(range(1, 20), rng, area=100.0, transmission_range=30.0)
+        for a, b in topo.edges():
+            ax, ay = topo.positions[a]
+            bx, by = topo.positions[b]
+            assert ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5 <= 30.0
+
+
+class TestManetConstruction:
+    def test_density_exceeds_f_plus_one(self):
+        # The paper's construction guarantees d > f + 1.
+        rng = random.Random(11)
+        topo = manet_topology(40, f=2, rng=rng)
+        assert topo.range_density() > 3
+
+    def test_min_neighbors_raises_density(self):
+        rng = random.Random(11)
+        topo = manet_topology(40, f=2, rng=rng, min_neighbors=8)
+        assert topo.range_density() >= 9
+
+    def test_all_nodes_have_positions(self):
+        rng = random.Random(11)
+        topo = manet_topology(25, f=1, rng=rng)
+        assert set(topo.positions) == set(topo.ids())
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            manet_topology(3, f=2, rng=random.Random(1))
+
+    def test_min_neighbors_below_f_plus_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            manet_topology(20, f=3, rng=random.Random(1), min_neighbors=2)
+
+    def test_impossible_placement_raises(self):
+        # A huge area with tiny range cannot give every node f+1 neighbors.
+        with pytest.raises(TopologyError):
+            manet_topology(
+                30,
+                f=1,
+                rng=random.Random(1),
+                area=100_000.0,
+                transmission_range=10.0,
+                max_attempts_per_node=50,
+            )
