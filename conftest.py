@@ -1,0 +1,22 @@
+"""Repo-root pytest bootstrap.
+
+``pyproject.toml``'s ``pythonpath = ["src"]`` covers in-process imports;
+this conftest additionally exports ``src`` on ``PYTHONPATH`` so tests that
+spawn subprocesses (the example smoke tests) find :mod:`repro` even when
+the package is not installed.
+"""
+
+import os
+import pathlib
+import sys
+
+_SRC = str(pathlib.Path(__file__).resolve().parent / "src")
+
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+_existing = os.environ.get("PYTHONPATH")
+if _existing is None:
+    os.environ["PYTHONPATH"] = _SRC
+elif _SRC not in _existing.split(os.pathsep):
+    os.environ["PYTHONPATH"] = _SRC + os.pathsep + _existing

@@ -52,7 +52,7 @@ from .errors import ReproError
 from .ids import ProcessId, make_membership
 from .runtime import DetectorService, LocalCluster, ServicePacing
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DetectorConfig",

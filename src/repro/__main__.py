@@ -1,0 +1,7 @@
+"""``python -m repro`` entry point: the experiment harness CLI."""
+
+import sys
+
+from .harness.cli import main
+
+sys.exit(main())

@@ -1,11 +1,16 @@
-"""Experiment harness: every table and figure, regenerable from code.
+"""Experiment definitions: every table and figure, regenerable from code.
 
 One module per experiment id (see DESIGN.md Section 3).  Each exposes a
 ``Params`` dataclass (with quick defaults; pass ``full()`` presets for
-paper-scale runs) and a ``run(params) -> Table`` function that returns the
-same rows/series the evaluation reports.  ``python -m
-repro.experiments.run_all`` prints everything and is the source of
-EXPERIMENTS.md's measured numbers.
+paper-scale runs), a declarative grid ``SPEC``
+(:class:`~repro.harness.spec.ScenarioSpec`: ``cells``/``run_cell``/
+``tabulate``), and a ``run(params) -> Table`` convenience wrapper that
+evaluates the grid sequentially.
+
+``python -m repro run t1 e2 --workers 8 --out results/`` evaluates grids
+on a process pool with content-hash caching and writes ``BENCH_<ID>.json``
+artifacts; ``python -m repro.experiments.run_all`` remains as a sequential
+wrapper.
 """
 
 from .report import Table

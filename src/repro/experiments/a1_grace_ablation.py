@@ -24,13 +24,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..harness.runner import run_grid
+from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats, mistake_stats
 from ..sim.faults import CrashFault, FaultPlan
 from ..sim.latency import LogNormalLatency
 from .report import Table
 from .scenarios import TIME_FREE, run_scenario
 
-__all__ = ["A1Params", "run"]
+__all__ = ["A1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 
 
 @dataclass(frozen=True)
@@ -51,7 +53,38 @@ class A1Params:
         return cls(n=30, f=6, graces=(0.0, 0.005, 0.02, 0.1, 0.3, 1.0, 2.0))
 
 
-def run(params: A1Params = A1Params()) -> Table:
+def cells(params: A1Params) -> list[dict]:
+    return [{"grace": grace} for grace in params.graces]
+
+
+def run_cell(params: A1Params, coords: dict, seed: int) -> dict:
+    grace = coords["grace"]
+    victim = params.n
+    setup = TIME_FREE.with_(grace=grace, idle=params.idle)
+    plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
+    cluster = run_scenario(
+        setup=setup,
+        n=params.n,
+        f=params.f,
+        horizon=params.horizon,
+        latency=LogNormalLatency(params.delay_median, params.delay_sigma),
+        fault_plan=plan,
+        seed=seed,
+        start_stagger=max(grace, params.idle),
+    )
+    correct = cluster.correct_processes()
+    mistakes = mistake_stats(cluster.trace, correct, horizon=params.horizon)
+    crash = detection_stats(cluster.trace, victim, params.crash_at, correct)
+    return {
+        "false_suspicions": mistakes.count,
+        "unresolved": mistakes.unresolved,
+        "detect_mean": crash.mean_latency,
+        "detect_max": crash.max_latency,
+        "rounds_per_process": len(cluster.trace.rounds) / (params.n - 1),
+    }
+
+
+def tabulate(params: A1Params, values: list[dict]) -> Table:
     table = Table(
         title=(
             f"A1 (ablation): query-pacing grace Δ sweep "
@@ -66,30 +99,14 @@ def run(params: A1Params = A1Params()) -> Table:
             "rounds/process",
         ],
     )
-    victim = params.n
-    for grace in params.graces:
-        setup = TIME_FREE.with_(grace=grace, idle=params.idle)
-        plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
-        cluster = run_scenario(
-            setup=setup,
-            n=params.n,
-            f=params.f,
-            horizon=params.horizon,
-            latency=LogNormalLatency(params.delay_median, params.delay_sigma),
-            fault_plan=plan,
-            seed=params.seed,
-            start_stagger=max(grace, params.idle),
-        )
-        correct = cluster.correct_processes()
-        mistakes = mistake_stats(cluster.trace, correct, horizon=params.horizon)
-        crash = detection_stats(cluster.trace, victim, params.crash_at, correct)
+    for grace, value in zip(params.graces, values):
         table.add_row(
             grace,
-            mistakes.count,
-            mistakes.unresolved,
-            crash.mean_latency,
-            crash.max_latency,
-            len(cluster.trace.rounds) / (params.n - 1),
+            value["false_suspicions"],
+            value["unresolved"],
+            value["detect_mean"],
+            value["detect_max"],
+            value["rounds_per_process"],
         )
     table.add_note(
         "Δ=0 is the raw protocol: the f slowest responders of every round "
@@ -101,3 +118,17 @@ def run(params: A1Params = A1Params()) -> Table:
         "price of ≈Δ detection latency."
     )
     return table
+
+
+SPEC = ScenarioSpec(
+    exp_id="a1",
+    title="query-pacing grace Δ ablation",
+    params_cls=A1Params,
+    cells=cells,
+    run_cell=run_cell,
+    tabulate=tabulate,
+)
+
+
+def run(params: A1Params = A1Params()) -> Table:
+    return run_grid(SPEC, params).tables()[0]

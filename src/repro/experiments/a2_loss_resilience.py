@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..harness.runner import run_grid
+from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats
 from ..sim.faults import CrashFault, FaultPlan
 from ..sim.latency import ExponentialLatency
@@ -27,7 +29,7 @@ from ..sim.cluster import SimCluster, time_free_driver_factory
 from ..sim.node import QueryPacing
 from .report import Table
 
-__all__ = ["A2Params", "run"]
+__all__ = ["A2Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 
 
 @dataclass(frozen=True)
@@ -46,7 +48,46 @@ class A2Params:
         return cls(n=20, f=4, loss_rates=(0.0, 0.05, 0.1, 0.2, 0.3, 0.4))
 
 
-def run(params: A2Params = A2Params()) -> Table:
+def cells(params: A2Params) -> list[dict]:
+    return [
+        {"loss": loss, "retry": retry}
+        for loss in params.loss_rates
+        for retry in params.retry_settings
+    ]
+
+
+def run_cell(params: A2Params, coords: dict, seed: int) -> dict:
+    victim = params.n
+    pacing = QueryPacing(grace=params.grace, idle=0.1, retry=coords["retry"])
+    cluster = SimCluster(
+        n=params.n,
+        driver_factory=time_free_driver_factory(params.f, pacing),
+        latency=ExponentialLatency(0.001),
+        seed=seed,
+        fault_plan=FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)]),
+        loss_rate=coords["loss"],
+        start_stagger=params.grace,
+    )
+    cluster.run(until=params.horizon)
+    correct = cluster.correct_processes()
+    # A process is "frozen" if it completed no round in the final
+    # quarter of the run: its current query never reached quorum.
+    cutoff = params.horizon * 0.75
+    active = {r.querier for r in cluster.trace.rounds if r.finished_at >= cutoff}
+    frozen = len([pid for pid in correct if pid not in active])
+    retransmissions = sum(
+        getattr(driver, "retries_sent", 0) for driver in cluster.drivers.values()
+    )
+    crash = detection_stats(cluster.trace, victim, params.crash_at, correct)
+    return {
+        "frozen": frozen,
+        "rounds_per_process": len(cluster.trace.rounds) / (params.n - 1),
+        "retransmissions": retransmissions,
+        "detected_by": f"{len(crash.latencies)}/{len(correct)}",
+    }
+
+
+def tabulate(params: A2Params, values: list[dict]) -> Table:
     table = Table(
         title=(
             f"A2 (ablation): message loss vs round liveness "
@@ -61,43 +102,31 @@ def run(params: A2Params = A2Params()) -> Table:
             "crash detected by",
         ],
     )
-    victim = params.n
-    for loss in params.loss_rates:
-        for retry in params.retry_settings:
-            pacing = QueryPacing(grace=params.grace, idle=0.1, retry=retry)
-            cluster = SimCluster(
-                n=params.n,
-                driver_factory=time_free_driver_factory(params.f, pacing),
-                latency=ExponentialLatency(0.001),
-                seed=params.seed,
-                fault_plan=FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)]),
-                loss_rate=loss,
-                start_stagger=params.grace,
-            )
-            cluster.run(until=params.horizon)
-            correct = cluster.correct_processes()
-            # A process is "frozen" if it completed no round in the final
-            # quarter of the run: its current query never reached quorum.
-            cutoff = params.horizon * 0.75
-            active = {
-                r.querier for r in cluster.trace.rounds if r.finished_at >= cutoff
-            }
-            frozen = len([pid for pid in correct if pid not in active])
-            retransmissions = sum(
-                getattr(driver, "retries_sent", 0)
-                for driver in cluster.drivers.values()
-            )
-            crash = detection_stats(cluster.trace, victim, params.crash_at, correct)
-            table.add_row(
-                loss,
-                retry if retry is not None else "off",
-                frozen,
-                len(cluster.trace.rounds) / (params.n - 1),
-                retransmissions,
-                f"{len(crash.latencies)}/{len(correct)}",
-            )
+    for coords, value in zip(cells(params), values):
+        table.add_row(
+            coords["loss"],
+            coords["retry"] if coords["retry"] is not None else "off",
+            value["frozen"],
+            value["rounds_per_process"],
+            value["retransmissions"],
+            value["detected_by"],
+        )
     table.add_note(
         "reliable channels (loss 0) never need retries; with loss, rounds "
         "stall without retransmission and recover with it."
     )
     return table
+
+
+SPEC = ScenarioSpec(
+    exp_id="a2",
+    title="message loss vs round liveness (retry ablation)",
+    params_cls=A2Params,
+    cells=cells,
+    run_cell=run_cell,
+    tabulate=tabulate,
+)
+
+
+def run(params: A2Params = A2Params()) -> Table:
+    return run_grid(SPEC, params).tables()[0]

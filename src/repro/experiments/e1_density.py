@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..harness.runner import run_grid
+from ..harness.spec import ScenarioSpec
 from ..metrics import all_detection_stats
 from ..partial import validate_f_covering
 from ..sim.faults import uniform_crashes
@@ -25,7 +27,9 @@ from ..sim.topology import manet_topology
 from .report import Table
 from .scenarios import GOSSIP, DetectorSetup, run_scenario
 
-__all__ = ["E1Params", "run"]
+__all__ = ["E1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+
+_LABELS = {"time-free": "time-free (async)", "gossip": "Friedman-Tcharny"}
 
 
 @dataclass(frozen=True)
@@ -62,7 +66,59 @@ def _build_topology(params: E1Params, target_density: int, attempt_seed: int):
     return topology
 
 
-def run(params: E1Params = E1Params()) -> Table:
+def cells(params: E1Params) -> list[dict]:
+    return [
+        {"target_d": target, "trial": trial, "detector": detector}
+        for target in params.densities
+        for trial in range(params.trials)
+        for detector in _LABELS
+    ]
+
+
+def run_cell(params: E1Params, coords: dict, seed: int) -> dict:
+    # The MANET construction's acceptance restrictions are calibrated to the
+    # params' own seed schedule, so the derived per-cell seed is unused: the
+    # same (seed, trial) must rebuild the identical topology for both
+    # detectors of a trial.
+    trial_seed = params.seed + 1000 * coords["trial"]
+    target = coords["target_d"]
+    topology = _build_topology(params, target, trial_seed)
+    victims_rng = RngStreams(trial_seed).stream("e1", "victims", target)
+    victims = victims_rng.sample(sorted(topology.ids()), params.crashes)
+    plan = uniform_crashes(
+        victims,
+        victims_rng,
+        start=params.crash_window[0],
+        end=params.crash_window[1],
+    )
+    if coords["detector"] == "time-free":
+        setup = DetectorSetup(
+            kind="partial",
+            label=_LABELS["time-free"],
+            grace=1.0,
+            d=topology.range_density(),
+        )
+    else:
+        setup = GOSSIP.with_(label=_LABELS["gossip"])
+    cluster = run_scenario(
+        setup=setup,
+        topology=topology.copy(),
+        f=params.f,
+        horizon=params.horizon,
+        fault_plan=plan,
+        seed=trial_seed,
+    )
+    stats = all_detection_stats(cluster.trace, plan, cluster.membership)
+    return {
+        "actual_d": topology.range_density(),
+        "latencies": [
+            latency for stat in stats for latency in stat.latencies.values()
+        ],
+        "undetected": sum(len(stat.undetected) for stat in stats),
+    }
+
+
+def tabulate(params: E1Params, values: list[dict]) -> Table:
     table = Table(
         title=(
             f"E1: detection time vs range density "
@@ -78,61 +134,48 @@ def run(params: E1Params = E1Params()) -> Table:
             "undetected",
         ],
     )
-    for target in params.densities:
-        pooled: dict[str, list[float]] = {}
-        undetected_by_label: dict[str, int] = {}
-        observed_densities: list[int] = []
-        for trial in range(params.trials):
-            trial_seed = params.seed + 1000 * trial
-            topology = _build_topology(params, target, trial_seed)
-            observed_densities.append(topology.range_density())
-            victims_rng = RngStreams(trial_seed).stream("e1", "victims", target)
-            victims = victims_rng.sample(sorted(topology.ids()), params.crashes)
-            plan = uniform_crashes(
-                victims,
-                victims_rng,
-                start=params.crash_window[0],
-                end=params.crash_window[1],
+    grouped: dict[tuple[int, str], dict] = {}
+    densities_by_target: dict[int, list[int]] = {}
+    for coords, value in zip(cells(params), values):
+        key = (coords["target_d"], coords["detector"])
+        group = grouped.setdefault(key, {"latencies": [], "undetected": 0})
+        group["latencies"].extend(value["latencies"])
+        group["undetected"] += value["undetected"]
+        if coords["detector"] == "time-free":
+            densities_by_target.setdefault(coords["target_d"], []).append(
+                value["actual_d"]
             )
-            setups: list[DetectorSetup] = [
-                DetectorSetup(
-                    kind="partial",
-                    label="time-free (async)",
-                    grace=1.0,
-                    d=topology.range_density(),
-                ),
-                GOSSIP.with_(label="Friedman-Tcharny"),
-            ]
-            for setup in setups:
-                cluster = run_scenario(
-                    setup=setup,
-                    topology=topology.copy(),
-                    f=params.f,
-                    horizon=params.horizon,
-                    fault_plan=plan,
-                    seed=trial_seed,
-                )
-                stats = all_detection_stats(cluster.trace, plan, cluster.membership)
-                pooled.setdefault(setup.label, []).extend(
-                    latency for stat in stats for latency in stat.latencies.values()
-                )
-                undetected_by_label[setup.label] = undetected_by_label.get(
-                    setup.label, 0
-                ) + sum(len(stat.undetected) for stat in stats)
-        actual_d = round(sum(observed_densities) / len(observed_densities))
-        for label in ("time-free (async)", "Friedman-Tcharny"):
-            latencies = pooled.get(label, [])
+    for target in params.densities:
+        observed = densities_by_target[target]
+        actual_d = round(sum(observed) / len(observed))
+        for detector in _LABELS:
+            group = grouped[(target, detector)]
+            latencies = group["latencies"]
             table.add_row(
                 target,
                 actual_d,
-                label,
+                _LABELS[detector],
                 min(latencies) if latencies else None,
                 sum(latencies) / len(latencies) if latencies else None,
                 max(latencies) if latencies else None,
-                undetected_by_label.get(label, 0),
+                group["undetected"],
             )
     table.add_note("Δ = 1 s, Θ = 2 s, one-hop δ ≈ 1 ms; suspicions flood hop by hop.")
     table.add_note(
         "expected: gossip flat within [Θ-Δ, Θ]; time-free decreasing with d towards Δ+δ."
     )
     return table
+
+
+SPEC = ScenarioSpec(
+    exp_id="e1",
+    title="detection time vs range density on f-covering MANETs",
+    params_cls=E1Params,
+    cells=cells,
+    run_cell=run_cell,
+    tabulate=tabulate,
+)
+
+
+def run(params: E1Params = E1Params()) -> Table:
+    return run_grid(SPEC, params).tables()[0]

@@ -14,12 +14,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..harness.runner import run_grid
+from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats
 from ..sim.faults import CrashFault, FaultPlan
 from .report import Table
-from .scenarios import HEARTBEAT, TIME_FREE, DetectorSetup, run_scenario
+from .scenarios import HEARTBEAT, TIME_FREE, run_scenario
 
-__all__ = ["F1Params", "run"]
+__all__ = ["F1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+
+_SETUPS = {"time-free": TIME_FREE, "heartbeat": HEARTBEAT}
 
 
 @dataclass(frozen=True)
@@ -37,24 +41,29 @@ class F1Params:
         return cls(n=30, f=6, trials=50)
 
 
-def _pooled_latencies(setup: DetectorSetup, params: F1Params) -> list[float]:
-    pooled: list[float] = []
-    for trial in range(params.trials):
-        victim = params.n  # symmetric under full mesh
-        plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
-        cluster = run_scenario(
-            setup=setup,
-            n=params.n,
-            f=params.f,
-            horizon=params.horizon,
-            fault_plan=plan,
-            seed=params.seed * 10_000 + trial,
-        )
-        stats = detection_stats(
-            cluster.trace, victim, params.crash_at, cluster.correct_processes()
-        )
-        pooled.extend(stats.latencies.values())
-    return sorted(pooled)
+def cells(params: F1Params) -> list[dict]:
+    return [
+        {"detector": detector, "trial": trial}
+        for detector in _SETUPS
+        for trial in range(params.trials)
+    ]
+
+
+def run_cell(params: F1Params, coords: dict, seed: int) -> dict:
+    victim = params.n  # symmetric under full mesh
+    plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
+    cluster = run_scenario(
+        setup=_SETUPS[coords["detector"]],
+        n=params.n,
+        f=params.f,
+        horizon=params.horizon,
+        fault_plan=plan,
+        seed=seed,
+    )
+    stats = detection_stats(
+        cluster.trace, victim, params.crash_at, cluster.correct_processes()
+    )
+    return {"latencies": sorted(stats.latencies.values())}
 
 
 def _quantile(sorted_values: list[float], q: float) -> float | None:
@@ -64,7 +73,12 @@ def _quantile(sorted_values: list[float], q: float) -> float | None:
     return sorted_values[index]
 
 
-def run(params: F1Params = F1Params()) -> Table:
+def tabulate(params: F1Params, values: list[dict]) -> Table:
+    pooled: dict[str, list[float]] = {detector: [] for detector in _SETUPS}
+    for coords, value in zip(cells(params), values):
+        pooled[coords["detector"]].extend(value["latencies"])
+    tf = sorted(pooled["time-free"])
+    hb = sorted(pooled["heartbeat"])
     table = Table(
         title=(
             f"F1: detection-time distribution (n={params.n}, f={params.f}, "
@@ -72,11 +86,23 @@ def run(params: F1Params = F1Params()) -> Table:
         ),
         headers=["quantile", "time-free (s)", "heartbeat (s)"],
     )
-    tf = _pooled_latencies(TIME_FREE, params)
-    hb = _pooled_latencies(HEARTBEAT, params)
     for q in params.quantiles:
         table.add_row(f"p{int(q * 100)}", _quantile(tf, q), _quantile(hb, q))
     table.add_row("min", tf[0] if tf else None, hb[0] if hb else None)
     table.add_row("max", tf[-1] if tf else None, hb[-1] if hb else None)
     table.add_note("heartbeat support is [Θ-Δ, Θ] = [1, 2] s; time-free ≈ Δ + δ.")
     return table
+
+
+SPEC = ScenarioSpec(
+    exp_id="f1",
+    title="distribution (CDF) of crash detection time",
+    params_cls=F1Params,
+    cells=cells,
+    run_cell=run_cell,
+    tabulate=tabulate,
+)
+
+
+def run(params: F1Params = F1Params()) -> Table:
+    return run_grid(SPEC, params).tables()[0]

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..harness.runner import run_cells, run_grid
+from ..harness.spec import ScenarioSpec
 from ..metrics import accuracy_stabilization, mistake_stats
 from ..sim.latency import (
     BiasedLatency,
@@ -36,7 +38,16 @@ from ..sim.latency import (
 from .report import Table
 from .scenarios import HEARTBEAT, PHI, TIME_FREE, DetectorSetup, run_scenario
 
-__all__ = ["F2Params", "run", "run_regime_shift", "run_variance_sweep"]
+__all__ = [
+    "F2Params",
+    "SPEC",
+    "cells",
+    "run_cell",
+    "tabulate",
+    "run",
+    "run_regime_shift",
+    "run_variance_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -64,11 +75,12 @@ class F2Params:
         )
 
 
-_SETUPS = (
-    TIME_FREE.with_(grace=1.0, label="time-free"),
-    HEARTBEAT.with_(period=1.0, timeout=2.0, label="heartbeat Θ=2s"),
-    PHI.with_(period=1.0, label="phi-accrual t=8"),
-)
+def _setups() -> dict[str, DetectorSetup]:
+    return {
+        "time-free": TIME_FREE.with_(grace=1.0, label="time-free"),
+        "heartbeat": HEARTBEAT.with_(period=1.0, timeout=2.0, label="heartbeat Θ=2s"),
+        "phi": PHI.with_(period=1.0, label="phi-accrual t=8"),
+    }
 
 
 def _biased(params: F2Params, base: LatencyModel) -> LatencyModel:
@@ -80,14 +92,45 @@ def _biased(params: F2Params, base: LatencyModel) -> LatencyModel:
     )
 
 
-def _measure(setup: DetectorSetup, params: F2Params, latency: LatencyModel):
+def _shift_cells(params: F2Params) -> list[dict]:
+    return [
+        {"sweep": "shift", "stress": factor, "detector": detector}
+        for factor in params.shift_factors
+        for detector in _setups()
+    ]
+
+
+def _sigma_cells(params: F2Params) -> list[dict]:
+    return [
+        {"sweep": "sigma", "stress": sigma, "detector": detector}
+        for sigma in params.sigmas
+        for detector in _setups()
+    ]
+
+
+def cells(params: F2Params) -> list[dict]:
+    return _shift_cells(params) + _sigma_cells(params)
+
+
+def run_cell(params: F2Params, coords: dict, seed: int) -> dict:
+    if coords["sweep"] == "shift":
+        latency = _biased(
+            params,
+            RegimeShiftLatency(
+                ExponentialLatency(params.base_delay_mean),
+                shift_at=params.shift_at,
+                factor=coords["stress"],
+            ),
+        )
+    else:
+        latency = _biased(params, LogNormalLatency(params.delay_median, coords["stress"]))
     cluster = run_scenario(
-        setup=setup,
+        setup=_setups()[coords["detector"]],
         n=params.n,
         f=params.f,
         horizon=params.horizon,
         latency=latency,
-        seed=params.seed,
+        seed=seed,
     )
     correct = cluster.correct_processes()
     total = mistake_stats(cluster.trace, correct, horizon=params.horizon)
@@ -97,8 +140,11 @@ def _measure(setup: DetectorSetup, params: F2Params, latency: LatencyModel):
         if obs != params.responsive
     )
     stabilization = accuracy_stabilization(cluster.trace, correct, horizon=params.horizon)
-    anchor_ok = stabilization[params.responsive] is not None
-    return total, responsive_suspicions, anchor_ok
+    return {
+        "total": total.count,
+        "responsive": responsive_suspicions,
+        "anchor_ok": stabilization[params.responsive] is not None,
+    }
 
 
 def _headers() -> list[str]:
@@ -111,7 +157,20 @@ def _headers() -> list[str]:
     ]
 
 
-def run_regime_shift(params: F2Params = F2Params()) -> Table:
+def _fill(table: Table, grid: list[dict], values: list[dict], stress_format) -> Table:
+    setups = _setups()
+    for coords, value in zip(grid, values):
+        table.add_row(
+            stress_format(coords["stress"]),
+            setups[coords["detector"]].label,
+            value["total"],
+            value["responsive"],
+            value["anchor_ok"],
+        )
+    return table
+
+
+def _shift_table(params: F2Params, values: list[dict]) -> Table:
     table = Table(
         title=(
             f"F2a: delay regime shift at t={params.shift_at}s "
@@ -119,18 +178,7 @@ def run_regime_shift(params: F2Params = F2Params()) -> Table:
         ),
         headers=_headers(),
     )
-    for factor in params.shift_factors:
-        latency = _biased(
-            params,
-            RegimeShiftLatency(
-                ExponentialLatency(params.base_delay_mean),
-                shift_at=params.shift_at,
-                factor=factor,
-            ),
-        )
-        for setup in _SETUPS:
-            total, responsive, anchor_ok = _measure(setup, params, latency)
-            table.add_row(f"x{factor:g}", setup.label, total.count, responsive, anchor_ok)
+    _fill(table, _shift_cells(params), values, lambda stress: f"x{stress:g}")
     table.add_note(
         "delay rescaling preserves response order: the time-free detector "
         "never suspects the responsive node at any factor; fixed timeouts "
@@ -144,7 +192,7 @@ def run_regime_shift(params: F2Params = F2Params()) -> Table:
     return table
 
 
-def run_variance_sweep(params: F2Params = F2Params()) -> Table:
+def _sigma_table(params: F2Params, values: list[dict]) -> Table:
     table = Table(
         title=(
             f"F2b: delay variance sweep (log-normal, median="
@@ -153,13 +201,34 @@ def run_variance_sweep(params: F2Params = F2Params()) -> Table:
         ),
         headers=_headers(),
     )
-    for sigma in params.sigmas:
-        latency = _biased(params, LogNormalLatency(params.delay_median, sigma))
-        for setup in _SETUPS:
-            total, responsive, anchor_ok = _measure(setup, params, latency)
-            table.add_row(f"σ={sigma:g}", setup.label, total.count, responsive, anchor_ok)
-    return table
+    return _fill(table, _sigma_cells(params), values, lambda stress: f"σ={stress:g}")
+
+
+def tabulate(params: F2Params, values: list[dict]) -> list[Table]:
+    split = len(_shift_cells(params))
+    return [
+        _shift_table(params, values[:split]),
+        _sigma_table(params, values[split:]),
+    ]
+
+
+SPEC = ScenarioSpec(
+    exp_id="f2",
+    title="accuracy under asynchrony (regime shift + variance sweep)",
+    params_cls=F2Params,
+    cells=cells,
+    run_cell=run_cell,
+    tabulate=tabulate,
+)
+
+
+def run_regime_shift(params: F2Params = F2Params()) -> Table:
+    return _shift_table(params, run_cells(SPEC, params, _shift_cells(params)))
+
+
+def run_variance_sweep(params: F2Params = F2Params()) -> Table:
+    return _sigma_table(params, run_cells(SPEC, params, _sigma_cells(params)))
 
 
 def run(params: F2Params = F2Params()) -> list[Table]:
-    return [run_regime_shift(params), run_variance_sweep(params)]
+    return run_grid(SPEC, params).tables()

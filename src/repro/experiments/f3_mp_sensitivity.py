@@ -19,12 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.properties import find_mp_witness, winning_ratio
+from ..harness.runner import run_grid
+from ..harness.spec import ScenarioSpec
 from ..metrics import accuracy_stabilization
 from ..sim.latency import BiasedLatency, LogNormalLatency
 from .report import Table
 from .scenarios import TIME_FREE, run_scenario
 
-__all__ = ["F3Params", "run"]
+__all__ = ["F3Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 
 
 @dataclass(frozen=True)
@@ -49,7 +51,46 @@ class F3Params:
         )
 
 
-def run(params: F3Params = F3Params()) -> Table:
+def cells(params: F3Params) -> list[dict]:
+    return [{"speedup": speedup} for speedup in params.speedups]
+
+
+def run_cell(params: F3Params, coords: dict, seed: int) -> dict:
+    setup = TIME_FREE.with_(grace=params.grace, idle=params.idle, label="time-free")
+    latency = BiasedLatency(
+        LogNormalLatency(params.delay_median, params.delay_sigma),
+        favored=frozenset({params.favored}),
+        speedup=coords["speedup"],
+        bidirectional=True,
+    )
+    cluster = run_scenario(
+        setup=setup,
+        n=params.n,
+        f=params.f,
+        horizon=params.horizon,
+        latency=latency,
+        seed=seed,
+    )
+    correct = cluster.correct_processes()
+    ratio = winning_ratio(cluster.trace.rounds, params.favored)
+    witness = find_mp_witness(
+        cluster.trace.rounds, f=params.f, correct=correct, min_suffix=params.mp_suffix
+    )
+    suspicion_count = sum(
+        len(cluster.trace.suspicion_intervals(obs, params.favored, horizon=params.horizon))
+        for obs in correct
+        if obs != params.favored
+    )
+    stabilization = accuracy_stabilization(cluster.trace, correct, horizon=params.horizon)
+    return {
+        "ratio": ratio,
+        "mp_holds": witness is not None and witness.responder == params.favored,
+        "suspicions": suspicion_count,
+        "stable": stabilization[params.favored] is not None,
+    }
+
+
+def tabulate(params: F3Params, values: list[dict]) -> Table:
     table = Table(
         title=(
             f"F3: accuracy vs MP strength (n={params.n}, f={params.f}, "
@@ -63,39 +104,13 @@ def run(params: F3Params = F3Params()) -> Table:
             "favored stable by end",
         ],
     )
-    setup = TIME_FREE.with_(grace=params.grace, idle=params.idle, label="time-free")
-    for speedup in params.speedups:
-        latency = BiasedLatency(
-            LogNormalLatency(params.delay_median, params.delay_sigma),
-            favored=frozenset({params.favored}),
-            speedup=speedup,
-            bidirectional=True,
-        )
-        cluster = run_scenario(
-            setup=setup,
-            n=params.n,
-            f=params.f,
-            horizon=params.horizon,
-            latency=latency,
-            seed=params.seed,
-        )
-        correct = cluster.correct_processes()
-        ratio = winning_ratio(cluster.trace.rounds, params.favored)
-        witness = find_mp_witness(
-            cluster.trace.rounds, f=params.f, correct=correct, min_suffix=params.mp_suffix
-        )
-        suspicion_count = sum(
-            len(cluster.trace.suspicion_intervals(obs, params.favored, horizon=params.horizon))
-            for obs in correct
-            if obs != params.favored
-        )
-        stabilization = accuracy_stabilization(cluster.trace, correct, horizon=params.horizon)
+    for speedup, value in zip(params.speedups, values):
         table.add_row(
             speedup,
-            ratio,
-            witness is not None and witness.responder == params.favored,
-            suspicion_count,
-            stabilization[params.favored] is not None,
+            value["ratio"],
+            value["mp_holds"],
+            value["suspicions"],
+            value["stable"],
         )
     table.add_note(
         "MP oracle: favored process wins the last "
@@ -106,3 +121,17 @@ def run(params: F3Params = F3Params()) -> Table:
         "speedup <= 1 -> ratio decays and the favored process gets suspected."
     )
     return table
+
+
+SPEC = ScenarioSpec(
+    exp_id="f3",
+    title="accuracy vs message-pattern (MP) strength",
+    params_cls=F3Params,
+    cells=cells,
+    run_cell=run_cell,
+    tabulate=tabulate,
+)
+
+
+def run(params: F3Params = F3Params()) -> Table:
+    return run_grid(SPEC, params).tables()[0]

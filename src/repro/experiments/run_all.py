@@ -1,9 +1,11 @@
 """Regenerate every table and figure: ``python -m repro.experiments.run_all``.
 
-``--full`` runs paper-scale parameters (minutes); the default quick presets
-finish in well under a minute and show the same shapes.  ``--only T1,F2``
-restricts to a comma-separated subset.  ``--markdown`` emits
-EXPERIMENTS.md-ready tables.
+Kept as a thin sequential wrapper over the harness registry for backwards
+compatibility — prefer ``python -m repro run`` (parallel workers, result
+caching, JSON artifacts).  ``--full`` runs paper-scale parameters
+(minutes); the default quick presets finish in well under a minute and
+show the same shapes.  ``--only T1,F2`` restricts to a comma-separated
+subset.  ``--markdown`` emits EXPERIMENTS.md-ready tables.
 """
 
 from __future__ import annotations
@@ -12,43 +14,15 @@ import argparse
 import sys
 import time
 
-from . import (
-    a1_grace_ablation,
-    a2_loss_resilience,
-    e1_density,
-    e2_mobility,
-    f1_detection_cdf,
-    f2_delay_variance,
-    f3_mp_sensitivity,
-    t1_detection_vs_n,
-    t2_impact_of_f,
-    t3_message_load,
-    t4_consensus,
-)
+from ..harness.registry import all_specs
+from ..harness.runner import run_grid
 from .report import Table
-
-EXPERIMENTS = {
-    "T1": (t1_detection_vs_n, "T1Params"),
-    "T2": (t2_impact_of_f, "T2Params"),
-    "T3": (t3_message_load, "T3Params"),
-    "T4": (t4_consensus, "T4Params"),
-    "F1": (f1_detection_cdf, "F1Params"),
-    "F2": (f2_delay_variance, "F2Params"),
-    "F3": (f3_mp_sensitivity, "F3Params"),
-    "E1": (e1_density, "E1Params"),
-    "E2": (e2_mobility, "E2Params"),
-    "A1": (a1_grace_ablation, "A1Params"),
-    "A2": (a2_loss_resilience, "A2Params"),
-}
 
 
 def run_experiment(exp_id: str, *, full: bool = False) -> list[Table]:
     """Run one experiment by id; returns its table(s)."""
-    module, params_name = EXPERIMENTS[exp_id]
-    params_cls = getattr(module, params_name)
-    params = params_cls.full() if full else params_cls()
-    result = module.run(params)
-    return result if isinstance(result, list) else [result]
+    spec = all_specs()[exp_id.lower()]
+    return run_grid(spec, spec.make_params(full=full)).tables()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -57,12 +31,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--only", default="", help="comma-separated experiment ids")
     parser.add_argument("--markdown", action="store_true", help="markdown output")
     args = parser.parse_args(argv)
-    wanted = [e.strip().upper() for e in args.only.split(",") if e.strip()] or list(
-        EXPERIMENTS
-    )
-    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    known = [exp_id.upper() for exp_id in all_specs()]
+    wanted = [e.strip().upper() for e in args.only.split(",") if e.strip()] or known
+    unknown = [e for e in wanted if e not in known]
     if unknown:
-        parser.error(f"unknown experiment ids: {unknown}; choose from {list(EXPERIMENTS)}")
+        parser.error(f"unknown experiment ids: {unknown}; choose from {known}")
     for exp_id in wanted:
         started = time.perf_counter()
         tables = run_experiment(exp_id, full=args.full)

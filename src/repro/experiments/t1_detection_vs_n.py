@@ -16,12 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from statistics import mean
 
+from ..harness.runner import run_grid
+from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats
 from ..sim.faults import CrashFault, FaultPlan
 from .report import Table
-from .scenarios import HEARTBEAT, TIME_FREE, DetectorSetup, run_scenario
+from .scenarios import HEARTBEAT, TIME_FREE, run_scenario
 
-__all__ = ["T1Params", "run"]
+__all__ = ["T1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+
+_SETUPS = {"time-free": TIME_FREE, "heartbeat": HEARTBEAT}
 
 
 @dataclass(frozen=True)
@@ -38,24 +42,35 @@ class T1Params:
         return cls(sizes=(10, 20, 30, 40, 50, 60), trials=5)
 
 
-def _measure(setup: DetectorSetup, n: int, f: int, params: T1Params, trial: int):
+def cells(params: T1Params) -> list[dict]:
+    return [
+        {"n": n, "detector": detector, "trial": trial}
+        for n in params.sizes
+        for detector in _SETUPS
+        for trial in range(params.trials)
+    ]
+
+
+def run_cell(params: T1Params, coords: dict, seed: int) -> dict:
+    n = coords["n"]
+    f = max(1, int(n * params.f_fraction))
     victim = n  # crash the highest id; ids are symmetric under full mesh
     plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
     cluster = run_scenario(
-        setup=setup,
+        setup=_SETUPS[coords["detector"]],
         n=n,
         f=f,
         horizon=params.horizon,
         fault_plan=plan,
-        seed=params.seed * 1000 + trial,
+        seed=seed,
     )
     stats = detection_stats(
         cluster.trace, victim, params.crash_at, cluster.correct_processes()
     )
-    return stats
+    return {"mean": stats.mean_latency, "max": stats.max_latency}
 
 
-def run(params: T1Params = T1Params()) -> Table:
+def tabulate(params: T1Params, values: list[dict]) -> Table:
     table = Table(
         title="T1: crash detection time vs system size (full mesh, 1 crash)",
         headers=[
@@ -67,23 +82,24 @@ def run(params: T1Params = T1Params()) -> Table:
             "heartbeat max (s)",
         ],
     )
+    by_coords = dict(zip((tuple(sorted(c.items())) for c in cells(params)), values))
     for n in params.sizes:
-        f = max(1, int(n * params.f_fraction))
         per_detector: dict[str, tuple[float, float]] = {}
-        for setup in (TIME_FREE, HEARTBEAT):
+        for detector in _SETUPS:
             means, maxes = [], []
             for trial in range(params.trials):
-                stats = _measure(setup, n, f, params, trial)
-                if stats.mean_latency is not None:
-                    means.append(stats.mean_latency)
-                    maxes.append(stats.max_latency)
-            per_detector[setup.kind] = (
+                key = tuple(sorted({"n": n, "detector": detector, "trial": trial}.items()))
+                stats = by_coords[key]
+                if stats["mean"] is not None:
+                    means.append(stats["mean"])
+                    maxes.append(stats["max"])
+            per_detector[detector] = (
                 mean(means) if means else float("nan"),
                 mean(maxes) if maxes else float("nan"),
             )
         table.add_row(
             n,
-            f,
+            max(1, int(n * params.f_fraction)),
             per_detector["time-free"][0],
             per_detector["time-free"][1],
             per_detector["heartbeat"][0],
@@ -96,3 +112,17 @@ def run(params: T1Params = T1Params()) -> Table:
         "expected: heartbeat in [Θ-Δ, Θ] regardless of n; time-free ≈ Δ + δ."
     )
     return table
+
+
+SPEC = ScenarioSpec(
+    exp_id="t1",
+    title="crash detection time vs system size (time-free vs heartbeat)",
+    params_cls=T1Params,
+    cells=cells,
+    run_cell=run_cell,
+    tabulate=tabulate,
+)
+
+
+def run(params: T1Params = T1Params()) -> Table:
+    return run_grid(SPEC, params).tables()[0]

@@ -13,13 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from statistics import mean
 
+from ..harness.runner import run_grid
+from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats, mistake_stats
 from ..sim.faults import CrashFault, FaultPlan
 from ..sim.latency import LogNormalLatency
 from .report import Table
 from .scenarios import TIME_FREE, run_scenario
 
-__all__ = ["T2Params", "run"]
+__all__ = ["T2Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 
 
 @dataclass(frozen=True)
@@ -38,7 +40,40 @@ class T2Params:
         return cls(f_values=(1, 3, 5, 7, 10, 14, 20))
 
 
-def run(params: T2Params = T2Params()) -> Table:
+def cells(params: T2Params) -> list[dict]:
+    return [{"f": f} for f in params.f_values]
+
+
+def run_cell(params: T2Params, coords: dict, seed: int) -> dict:
+    f = coords["f"]
+    victim = params.n
+    plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
+    cluster = run_scenario(
+        setup=TIME_FREE,
+        n=params.n,
+        f=f,
+        horizon=params.horizon,
+        latency=LogNormalLatency(params.delay_median, params.delay_sigma),
+        fault_plan=plan,
+        seed=seed,
+    )
+    stats = detection_stats(
+        cluster.trace, victim, params.crash_at, cluster.correct_processes()
+    )
+    durations = [r.finished_at - r.started_at for r in cluster.trace.rounds]
+    mistakes = mistake_stats(
+        cluster.trace, cluster.correct_processes(), horizon=params.horizon
+    )
+    return {
+        "detect_mean": stats.mean_latency,
+        "detect_max": stats.max_latency,
+        "round_duration": mean(durations) if durations else None,
+        "rounds_per_process": len(cluster.trace.rounds) / (params.n - 1),
+        "false_suspicions": mistakes.count,
+    }
+
+
+def tabulate(params: T2Params, values: list[dict]) -> Table:
     table = Table(
         title=f"T2: impact of f (time-free detector, n={params.n}, 1 crash)",
         headers=[
@@ -51,35 +86,31 @@ def run(params: T2Params = T2Params()) -> Table:
             "false suspicions",
         ],
     )
-    victim = params.n
-    for f in params.f_values:
-        plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
-        cluster = run_scenario(
-            setup=TIME_FREE,
-            n=params.n,
-            f=f,
-            horizon=params.horizon,
-            latency=LogNormalLatency(params.delay_median, params.delay_sigma),
-            fault_plan=plan,
-            seed=params.seed,
-        )
-        stats = detection_stats(
-            cluster.trace, victim, params.crash_at, cluster.correct_processes()
-        )
-        durations = [r.finished_at - r.started_at for r in cluster.trace.rounds]
-        mistakes = mistake_stats(
-            cluster.trace, cluster.correct_processes(), horizon=params.horizon
-        )
+    for f, value in zip(params.f_values, values):
         table.add_row(
             f,
             params.n - f,
-            stats.mean_latency,
-            stats.max_latency,
-            mean(durations) if durations else None,
-            len(cluster.trace.rounds) / (params.n - 1),
-            mistakes.count,
+            value["detect_mean"],
+            value["detect_max"],
+            value["round_duration"],
+            value["rounds_per_process"],
+            value["false_suspicions"],
         )
     table.add_note(
         "rounds terminate after n-f responses; the grace Δ=1s dominates round time."
     )
     return table
+
+
+SPEC = ScenarioSpec(
+    exp_id="t2",
+    title="impact of the crash bound f on the time-free detector",
+    params_cls=T2Params,
+    cells=cells,
+    run_cell=run_cell,
+    tabulate=tabulate,
+)
+
+
+def run(params: T2Params = T2Params()) -> Table:
+    return run_grid(SPEC, params).tables()[0]

@@ -11,11 +11,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..harness.runner import run_grid
+from ..harness.spec import ScenarioSpec
 from ..metrics import message_load
 from .report import Table
 from .scenarios import GOSSIP, HEARTBEAT, PHI, TIME_FREE, run_scenario
 
-__all__ = ["T3Params", "run"]
+__all__ = ["T3Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+
+_SETUPS = {"time-free": TIME_FREE, "heartbeat": HEARTBEAT, "gossip": GOSSIP, "phi": PHI}
 
 
 @dataclass(frozen=True)
@@ -30,27 +34,41 @@ class T3Params:
         return cls(sizes=(10, 30, 60), horizon=60.0)
 
 
-def run(params: T3Params = T3Params()) -> Table:
+def cells(params: T3Params) -> list[dict]:
+    return [
+        {"n": n, "detector": detector} for n in params.sizes for detector in _SETUPS
+    ]
+
+
+def run_cell(params: T3Params, coords: dict, seed: int) -> dict:
+    n = coords["n"]
+    f = max(1, int(n * params.f_fraction))
+    cluster = run_scenario(
+        setup=_SETUPS[coords["detector"]], n=n, f=f, horizon=params.horizon, seed=seed
+    )
+    load = message_load(cluster.trace, horizon=params.horizon, n=n)
+    kinds = {k: v for k, v in load.items() if k != "total"}
+    dominant = max(kinds, key=kinds.get) if kinds else "-"
+    return {
+        "total": load["total"],
+        "dominant": dominant,
+        "dominant_load": kinds.get(dominant),
+    }
+
+
+def tabulate(params: T3Params, values: list[dict]) -> Table:
     table = Table(
         title="T3: message load (crash-free run)",
         headers=["n", "detector", "msgs/s/process", "dominant kind", "kind msgs/s/process"],
     )
-    for n in params.sizes:
-        f = max(1, int(n * params.f_fraction))
-        for setup in (TIME_FREE, HEARTBEAT, GOSSIP, PHI):
-            cluster = run_scenario(
-                setup=setup, n=n, f=f, horizon=params.horizon, seed=params.seed
-            )
-            load = message_load(cluster.trace, horizon=params.horizon, n=n)
-            kinds = {k: v for k, v in load.items() if k != "total"}
-            dominant = max(kinds, key=kinds.get) if kinds else "-"
-            table.add_row(
-                n,
-                setup.label,
-                load["total"],
-                dominant,
-                kinds.get(dominant),
-            )
+    for coords, value in zip(cells(params), values):
+        table.add_row(
+            coords["n"],
+            _SETUPS[coords["detector"]].label,
+            value["total"],
+            value["dominant"],
+            value["dominant_load"],
+        )
     table.add_note(
         "time-free sends ~2(n-1) msgs per process per round (query+response); "
         "heartbeats send (n-1)/Δ."
@@ -60,3 +78,17 @@ def run(params: T3Params = T3Params()) -> Table:
         "while the others stay O(#suspicions)."
     )
     return table
+
+
+SPEC = ScenarioSpec(
+    exp_id="t3",
+    title="message load per detector (crash-free run)",
+    params_cls=T3Params,
+    cells=cells,
+    run_cell=run_cell,
+    tabulate=tabulate,
+)
+
+
+def run(params: T3Params = T3Params()) -> Table:
+    return run_grid(SPEC, params).tables()[0]

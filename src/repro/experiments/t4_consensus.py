@@ -16,12 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..consensus import ConsensusHarness
+from ..harness.runner import run_grid
+from ..harness.spec import ScenarioSpec
 from ..sim.faults import CrashFault, FaultPlan
 from ..sim.latency import ExponentialLatency
 from .report import Table
 from .scenarios import HEARTBEAT, TIME_FREE, DetectorSetup
 
-__all__ = ["T4Params", "run"]
+__all__ = ["T4Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+
+_SCENARIOS = ("fault-free", "coordinator crash")
 
 
 @dataclass(frozen=True)
@@ -39,18 +43,54 @@ class T4Params:
         return cls(n=15, f=7)
 
 
-def _setups(params: T4Params) -> list[DetectorSetup]:
+def _setup(params: T4Params, detector: str) -> DetectorSetup:
+    if detector == "time-free":
+        return TIME_FREE.with_(grace=params.delta, label=f"time-free Δ={params.delta}s")
+    return HEARTBEAT.with_(
+        period=params.delta,
+        timeout=2 * params.delta,
+        label=f"heartbeat Θ={2 * params.delta}s",
+    )
+
+
+def cells(params: T4Params) -> list[dict]:
     return [
-        TIME_FREE.with_(grace=params.delta, label=f"time-free Δ={params.delta}s"),
-        HEARTBEAT.with_(
-            period=params.delta,
-            timeout=2 * params.delta,
-            label=f"heartbeat Θ={2 * params.delta}s",
-        ),
+        {"detector": detector, "scenario": scenario}
+        for detector in ("time-free", "heartbeat")
+        for scenario in _SCENARIOS
     ]
 
 
-def run(params: T4Params = T4Params()) -> Table:
+def run_cell(params: T4Params, coords: dict, seed: int) -> dict:
+    setup = _setup(params, coords["detector"])
+    if coords["scenario"] == "fault-free":
+        plan = FaultPlan.none()
+    else:
+        # Process 1 coordinates round 1; crash it before anyone proposes.
+        plan = FaultPlan.of(crashes=[CrashFault(1, 0.001)])
+    harness = ConsensusHarness(
+        n=params.n,
+        f=params.f,
+        fd_driver_factory=setup.driver_factory(params.f),
+        latency=ExponentialLatency(params.delay_mean),
+        seed=seed,
+        fault_plan=plan,
+        propose_at=0.01,
+    )
+    result = harness.run(until=params.horizon)
+    correct_rounds = [
+        r for pid, r in result.rounds_executed.items() if pid in result.correct
+    ]
+    return {
+        "all_correct_decided": result.all_correct_decided,
+        "agreement": result.agreement_holds,
+        "validity": result.validity_holds,
+        "decision_time": result.last_decision_time,
+        "max_rounds": max(correct_rounds, default=None),
+    }
+
+
+def tabulate(params: T4Params, values: list[dict]) -> Table:
     table = Table(
         title=f"T4: consensus latency over each detector (n={params.n}, f={params.f})",
         headers=[
@@ -63,37 +103,32 @@ def run(params: T4Params = T4Params()) -> Table:
             "max rounds",
         ],
     )
-    scenarios = [
-        ("fault-free", FaultPlan.none()),
-        # Process 1 coordinates round 1; crash it before anyone proposes.
-        ("coordinator crash", FaultPlan.of(crashes=[CrashFault(1, 0.001)])),
-    ]
-    for setup in _setups(params):
-        for name, plan in scenarios:
-            harness = ConsensusHarness(
-                n=params.n,
-                f=params.f,
-                fd_driver_factory=setup.driver_factory(params.f),
-                latency=ExponentialLatency(params.delay_mean),
-                seed=params.seed,
-                fault_plan=plan,
-                propose_at=0.01,
-            )
-            result = harness.run(until=params.horizon)
-            correct_rounds = [
-                r for pid, r in result.rounds_executed.items() if pid in result.correct
-            ]
-            table.add_row(
-                setup.label,
-                name,
-                result.all_correct_decided,
-                result.agreement_holds,
-                result.validity_holds,
-                result.last_decision_time,
-                max(correct_rounds, default=None),
-            )
+    for coords, value in zip(cells(params), values):
+        table.add_row(
+            _setup(params, coords["detector"]).label,
+            coords["scenario"],
+            value["all_correct_decided"],
+            value["agreement"],
+            value["validity"],
+            value["decision_time"],
+            value["max_rounds"],
+        )
     table.add_note(
         "with a crashed coordinator, decision time ≈ time for the detector "
         "to suspect it + one round of messages."
     )
     return table
+
+
+SPEC = ScenarioSpec(
+    exp_id="t4",
+    title="Chandra-Toueg consensus latency over each detector",
+    params_cls=T4Params,
+    cells=cells,
+    run_cell=run_cell,
+    tabulate=tabulate,
+)
+
+
+def run(params: T4Params = T4Params()) -> Table:
+    return run_grid(SPEC, params).tables()[0]

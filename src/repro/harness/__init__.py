@@ -1,0 +1,38 @@
+"""Parallel experiment orchestration.
+
+Every experiment in :mod:`repro.experiments` is a *grid*: a declarative
+list of cells (parameter coordinates), one pure function that evaluates a
+single cell, and one function that folds cell results into report tables.
+:class:`~repro.harness.spec.ScenarioSpec` captures that triple; the
+:mod:`~repro.harness.runner` evaluates whole grids — sequentially or on a
+process pool — with deterministic per-cell seeding, deterministic result
+ordering, and content-hash result caching; :mod:`~repro.harness.artifacts`
+writes the machine-readable ``BENCH_<ID>.json`` outputs; and
+:mod:`~repro.harness.cli` exposes it all as ``python -m repro run ...``.
+
+Because cells are pure functions of ``(params, coords, seed)``, the same
+grid run twice produces byte-identical artifacts — the second run entirely
+from cache.
+"""
+
+from .artifacts import artifact_name, artifact_payload, write_artifact
+from .cache import ResultCache, cache_key
+from .registry import all_specs, get_spec
+from .runner import CellOutcome, GridResult, run_cells, run_grid
+from .spec import ScenarioSpec, cell_seed
+
+__all__ = [
+    "CellOutcome",
+    "GridResult",
+    "ResultCache",
+    "ScenarioSpec",
+    "all_specs",
+    "artifact_name",
+    "artifact_payload",
+    "cache_key",
+    "cell_seed",
+    "get_spec",
+    "run_cells",
+    "run_grid",
+    "write_artifact",
+]

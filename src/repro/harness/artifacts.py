@@ -1,0 +1,59 @@
+"""Machine-readable grid artifacts (``BENCH_<ID>.json``).
+
+One artifact per experiment run: the full parameter set, every cell (its
+coordinates, derived seed, and value) and the rendered report tables.
+Serialisation is canonical — sorted keys, fixed indentation, no
+timestamps or host information — so re-running the same grid with the
+same seed writes byte-identical files, which is both the cache-correctness
+check and what makes artifacts diffable across CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .runner import GridResult
+from .spec import params_to_dict
+
+__all__ = ["ARTIFACT_SCHEMA", "artifact_name", "artifact_payload", "write_artifact"]
+
+ARTIFACT_SCHEMA = "repro-bench/1"
+
+
+def artifact_name(exp_id: str) -> str:
+    return f"BENCH_{exp_id.upper()}.json"
+
+
+def artifact_payload(result: GridResult) -> dict[str, Any]:
+    """The artifact as a plain dict (JSON-serialisable)."""
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "experiment": result.spec.exp_id,
+        "title": result.spec.title,
+        "params": params_to_dict(result.params),
+        "cells": [
+            {"coords": outcome.coords, "seed": outcome.seed, "value": outcome.value}
+            for outcome in result.outcomes
+        ],
+        "tables": [
+            {
+                "title": table.title,
+                "headers": list(table.headers),
+                "rows": [list(row) for row in table.rows],
+                "notes": list(table.notes),
+            }
+            for table in result.tables()
+        ],
+    }
+
+
+def write_artifact(out_dir: str | Path, result: GridResult) -> Path:
+    """Write the canonical artifact; returns its path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / artifact_name(result.spec.exp_id)
+    rendered = json.dumps(artifact_payload(result), sort_keys=True, indent=2)
+    path.write_text(rendered + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,91 @@
+"""Content-hash result cache for grid cells.
+
+A cell's key is the SHA-256 of the canonical JSON of everything that
+determines its result: the cache schema version, the experiment id, the
+full parameter set, the cell coordinates, and the derived seed.  Any change
+to any of those yields a different key, so stale hits are impossible
+without hashing code (which we deliberately do not: bump
+``CACHE_SCHEMA`` when a change to experiment or simulator code is meant
+to invalidate old results).
+
+Entries are one JSON file per key, sharded by the key's first two hex
+digits, written atomically (temp file + ``os.replace``) so concurrent
+grid runs can share a cache directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+from .spec import canonical_json, cell_seed, params_to_dict
+
+__all__ = ["CACHE_SCHEMA", "ResultCache", "cache_key"]
+
+#: bump to invalidate every cached cell (e.g. after simulator changes that
+#: alter results for identical parameters).
+CACHE_SCHEMA = 1
+
+
+def cache_key(exp_id: str, params: Any, coords: Mapping[str, Any], seed: int) -> str:
+    payload = canonical_json(
+        {
+            "schema": CACHE_SCHEMA,
+            "exp": exp_id,
+            "params": params_to_dict(params),
+            "coords": dict(coords),
+            "seed": seed,
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed map from cell key to JSON value."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, exp_id: str, params: Any, coords: Mapping[str, Any]) -> str:
+        return cache_key(exp_id, params, coords, cell_seed(exp_id, coords, params.seed))
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Any | None:
+        """The cached value, or None.  Corrupt entries read as misses."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if entry["key"] != key:
+                raise KeyError(key)
+            value = entry["value"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` (must be JSON-serialisable) atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"key": key, "value": value}, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

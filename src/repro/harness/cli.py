@@ -1,0 +1,103 @@
+"""``python -m repro`` — the unified experiment harness CLI.
+
+Examples::
+
+    python -m repro list
+    python -m repro run t1 --workers 2 --out results/
+    python -m repro run t1 e2 f3 --full --workers 8 --out results/ --markdown
+
+``run`` evaluates each named grid (all of them with no names given),
+prints its tables, and writes one ``BENCH_<ID>.json`` artifact per
+experiment under ``--out``.  Results are cached by content hash under
+``<out>/.cache`` (override with ``--cache-dir``, disable with
+``--no-cache``): re-running an unchanged grid is served entirely from
+cache and rewrites byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .artifacts import write_artifact
+from .cache import ResultCache
+from .registry import all_specs
+from .runner import run_grid
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the paper's experiment grids in parallel, with caching.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="evaluate experiment grids")
+    run.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXP",
+        help="experiment ids (t1..t4, f1..f3, e1, e2, a1, a2); default: all",
+    )
+    run.add_argument("--workers", type=int, default=1, help="process-pool size")
+    run.add_argument("--out", default="results", help="artifact directory")
+    run.add_argument("--full", action="store_true", help="paper-scale parameters")
+    run.add_argument("--seed", type=int, default=None, help="override the base seed")
+    run.add_argument("--no-cache", action="store_true", help="always recompute")
+    run.add_argument("--cache-dir", default=None, help="cache directory (default: OUT/.cache)")
+    run.add_argument("--markdown", action="store_true", help="markdown tables")
+    run.add_argument("--quiet", action="store_true", help="no tables, just a summary line")
+
+    commands.add_parser("list", help="list experiment grids")
+    return parser
+
+
+def _cmd_list() -> int:
+    for exp_id, spec in all_specs().items():
+        params = spec.params_cls()
+        print(f"{exp_id:<4} {len(spec.cells(params)):>3} cells  {spec.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    specs = all_specs()
+    wanted = [exp.lower() for exp in args.experiments] or list(specs)
+    unknown = sorted(set(wanted) - set(specs))
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; choose from {sorted(specs)}", file=sys.stderr)
+        return 2
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir is not None else f"{args.out}/.cache"
+        cache = ResultCache(cache_dir)
+    for exp_id in wanted:
+        spec = specs[exp_id]
+        overrides = {} if args.seed is None else {"seed": args.seed}
+        params = spec.make_params(full=args.full, **overrides)
+        started = time.perf_counter()
+        result = run_grid(spec, params, workers=args.workers, cache=cache)
+        elapsed = time.perf_counter() - started
+        path = write_artifact(args.out, result)
+        if not args.quiet:
+            for table in result.tables():
+                print(table.render_markdown() if args.markdown else table.render())
+                print()
+        print(
+            f"[{exp_id}: {len(result.outcomes)} cells "
+            f"({result.cache_hits} cached) in {elapsed:.1f}s -> {path}]"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

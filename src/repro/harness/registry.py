@@ -1,0 +1,55 @@
+"""Registry of every experiment grid, keyed by lower-case id.
+
+Imports live here (not at harness import time) so ``repro.harness`` has no
+import cycle with ``repro.experiments`` — experiment modules import the
+harness to declare their specs.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .spec import ScenarioSpec
+
+__all__ = ["all_specs", "get_spec"]
+
+
+def all_specs() -> dict[str, ScenarioSpec]:
+    """Every registered experiment spec, in canonical reporting order."""
+    from ..experiments import (
+        a1_grace_ablation,
+        a2_loss_resilience,
+        e1_density,
+        e2_mobility,
+        f1_detection_cdf,
+        f2_delay_variance,
+        f3_mp_sensitivity,
+        t1_detection_vs_n,
+        t2_impact_of_f,
+        t3_message_load,
+        t4_consensus,
+    )
+
+    modules = (
+        t1_detection_vs_n,
+        t2_impact_of_f,
+        t3_message_load,
+        t4_consensus,
+        f1_detection_cdf,
+        f2_delay_variance,
+        f3_mp_sensitivity,
+        e1_density,
+        e2_mobility,
+        a1_grace_ablation,
+        a2_loss_resilience,
+    )
+    return {module.SPEC.exp_id: module.SPEC for module in modules}
+
+
+def get_spec(exp_id: str) -> ScenarioSpec:
+    specs = all_specs()
+    spec = specs.get(exp_id.lower())
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; choose from {sorted(specs)}"
+        )
+    return spec

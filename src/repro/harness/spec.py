@@ -1,0 +1,97 @@
+"""Declarative experiment grids.
+
+A :class:`ScenarioSpec` turns an experiment module into data the runner can
+schedule: ``cells(params)`` enumerates the grid, ``run_cell(params, coords,
+seed)`` evaluates one cell into a JSON-serialisable mapping, and
+``tabulate(params, values)`` folds the cell values (in cell order) back
+into report :class:`~repro.experiments.report.Table` objects.
+
+All three must be *module-level* functions: grids are shipped to worker
+processes by pickle, which serialises functions by qualified name.
+``run_cell`` must depend only on its arguments — no globals, no wall
+clock — so that a cell's result is a pure function of ``(params, coords,
+seed)`` and can be cached by content hash.
+
+Seeding: :func:`cell_seed` derives every cell's RNG seed from the
+experiment id, the cell coordinates and the grid's base seed via SHA-256,
+so cells are independently and reproducibly seeded no matter which worker
+runs them, in what order, or whether neighbouring cells were added or
+removed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["ScenarioSpec", "cell_seed", "canonical_json", "params_to_dict"]
+
+
+def canonical_json(value: Any) -> str:
+    """A stable textual form for hashing: sorted keys, no whitespace."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=_jsonify)
+
+
+def _jsonify(value: Any) -> Any:
+    if isinstance(value, (frozenset, set, tuple)):
+        return sorted(value, key=repr) if isinstance(value, (frozenset, set)) else list(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    raise TypeError(f"not canonically serialisable: {value!r}")
+
+
+def params_to_dict(params: Any) -> dict[str, Any]:
+    """Parameter dataclass -> plain dict (tuples kept; JSON turns them into lists)."""
+    if dataclasses.is_dataclass(params) and not isinstance(params, type):
+        return dataclasses.asdict(params)
+    raise ConfigurationError(f"experiment params must be a dataclass, got {params!r}")
+
+
+def cell_seed(exp_id: str, coords: Mapping[str, Any], base_seed: int) -> int:
+    """Deterministic per-cell seed, independent of evaluation order."""
+    payload = canonical_json({"exp": exp_id, "coords": dict(coords), "seed": base_seed})
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One experiment as a schedulable grid.
+
+    ``exp_id``
+        Short lower-case id (``"t1"``, ``"e2"`` ...) used by the CLI, the
+        cache key, and the ``BENCH_<ID>.json`` artifact name.
+    ``title``
+        One-line description shown by ``python -m repro list``.
+    ``params_cls``
+        Frozen dataclass of experiment parameters; must offer ``full()``
+        for paper-scale presets and carry a ``seed`` field.
+    ``cells``
+        ``cells(params) -> sequence of coordinate mappings`` (JSON-scalar
+        values only) — the grid, in canonical (reporting) order.
+    ``run_cell``
+        ``run_cell(params, coords, seed) -> JSON-serialisable mapping`` —
+        evaluates one cell.  Runs on worker processes.
+    ``tabulate``
+        ``tabulate(params, values) -> Table | list[Table]`` with ``values``
+        in ``cells(params)`` order.
+    """
+
+    exp_id: str
+    title: str
+    params_cls: type
+    cells: Callable[[Any], Sequence[Mapping[str, Any]]]
+    run_cell: Callable[[Any, Mapping[str, Any], int], Mapping[str, Any]]
+    tabulate: Callable[[Any, list[Any]], Any]
+
+    def make_params(self, *, full: bool = False, **overrides: Any) -> Any:
+        """Quick or paper-scale (``full=True``) parameters, with overrides."""
+        params = self.params_cls.full() if full else self.params_cls()
+        if overrides:
+            params = dataclasses.replace(params, **overrides)
+        return params

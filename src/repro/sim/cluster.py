@@ -88,19 +88,26 @@ class SimCluster:
         if stagger < 0:
             raise ConfigurationError(f"start_stagger must be >= 0, got {stagger}")
         start_rng = self.rng.stream("cluster", "start")
-        for pid in sorted(self.membership, key=repr):
-            offset = start_rng.uniform(0.0, stagger) if stagger > 0 else 0.0
-            self.scheduler.schedule_at(offset, self.processes[pid].start)
+        self.scheduler.schedule_batch(
+            (
+                (start_rng.uniform(0.0, stagger) if stagger > 0 else 0.0,
+                 self.processes[pid].start,
+                 ())
+                for pid in sorted(self.membership, key=repr)
+            )
+        )
 
     def _schedule_faults(self) -> None:
+        events: list[tuple[float, Callable[..., None], tuple]] = []
         for crash in self.fault_plan.crashes:
             process = self._process_or_raise(crash.process)
-            self.scheduler.schedule_at(crash.time, process.crash)
+            events.append((crash.time, process.crash, ()))
         for move in self.fault_plan.moves:
             process = self._process_or_raise(move.process)
-            self.scheduler.schedule_at(move.depart, process.detach)
+            events.append((move.depart, process.detach, ()))
             if move.arrive is not None:
-                self.scheduler.schedule_at(move.arrive, self._reattach, move)
+                events.append((move.arrive, self._reattach, (move,)))
+        self.scheduler.schedule_batch(events)
 
     def _reattach(self, move: MobilityFault) -> None:
         if move.new_position is not None:

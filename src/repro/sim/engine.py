@@ -4,35 +4,68 @@ Events are ordered by ``(time, sequence-number)``: two events scheduled for
 the same instant fire in scheduling order, which — together with seeded
 randomness (:mod:`repro.sim.rng`) — makes whole simulations reproducible
 bit-for-bit.
+
+Performance notes (large grids run thousands of these loops):
+
+* events are plain ``__slots__`` objects compared only on ``(time, seq)``;
+* cancellation is *lazy*: a cancelled event stays in the heap and is
+  discarded when it surfaces, so ``cancel`` is O(1) — with a compaction
+  pass that rebuilds the heap once cancelled entries dominate, so
+  cancel-heavy workloads (timer re-arming) stay O(log live) instead of
+  O(log total);
+* :meth:`Scheduler.schedule_batch` inserts many events with a single
+  ``heapify`` when that is cheaper than repeated pushes (broadcast
+  deliveries, cluster start-up staggering).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from ..errors import SimulationError
 
 __all__ = ["EventHandle", "Scheduler"]
 
+#: event states — pending in the heap, already fired, or cancelled (still
+#: in the heap awaiting lazy removal).
+_PENDING, _FIRED, _CANCELLED = 0, 1, 2
 
-@dataclass(order=True)
+#: compaction policy: rebuild the heap when at least this many cancelled
+#: events are buried in it *and* they outnumber the live ones.
+_COMPACT_MIN_DEAD = 64
+
+
 class _Event:
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "state")
+
+    def __init__(
+        self, time: float, seq: int, callback: Callable[..., None], args: tuple[Any, ...]
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.state = _PENDING
+
+    def __lt__(self, other: "_Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _FIRED: "fired", _CANCELLED: "cancelled"}[self.state]
+        return f"_Event(time={self.time!r}, seq={self.seq}, {state})"
 
 
 class EventHandle:
     """Cancellation handle for a scheduled event."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_scheduler")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, scheduler: "Scheduler"):
         self._event = event
+        self._scheduler = scheduler
 
     @property
     def time(self) -> float:
@@ -40,13 +73,19 @@ class EventHandle:
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._event.state == _CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        """True once the event's callback has run."""
+        return self._event.state == _FIRED
 
     def cancel(self) -> bool:
         """Cancel the event; returns False if it already fired/was cancelled."""
-        if self._event.cancelled:
+        if self._event.state != _PENDING:
             return False
-        self._event.cancelled = True
+        self._event.state = _CANCELLED
+        self._scheduler._note_cancelled()
         return True
 
 
@@ -65,6 +104,8 @@ class Scheduler:
         self._seq = 0
         self._events_processed = 0
         self._stopped = False
+        self._live = 0  # pending events in the heap
+        self._dead = 0  # cancelled events awaiting lazy removal
 
     # ------------------------------------------------------------------
     @property
@@ -78,7 +119,7 @@ class Scheduler:
 
     def pending_events(self) -> int:
         """Number of scheduled (non-cancelled) events still in the queue."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     # ------------------------------------------------------------------
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -87,10 +128,11 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule an event at {time} before current time {self._now}"
             )
-        event = _Event(time=time, seq=self._seq, callback=callback, args=args)
+        event = _Event(time, self._seq, callback, args)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def schedule_after(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -100,9 +142,61 @@ class Scheduler:
             raise SimulationError(f"delay must be >= 0, got {delay}")
         return self.schedule_at(self._now + delay, callback, *args)
 
+    def schedule_batch(
+        self, items: Iterable[tuple[float, Callable[..., None], tuple[Any, ...]]]
+    ) -> list[EventHandle]:
+        """Schedule many ``(time, callback, args)`` events at once.
+
+        Sequence numbers are assigned in item order, so the fire order of
+        same-timestamp events is exactly as if each had been passed to
+        :meth:`schedule_at` in turn — batching changes cost, never order.
+        A single ``heapify`` replaces k pushes when the batch is large
+        relative to the heap (O(n + k) vs. O(k log n)).
+        """
+        events: list[_Event] = []
+        now = self._now
+        seq = self._seq
+        for time, callback, args in items:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule an event at {time} before current time {now}"
+                )
+            events.append(_Event(time, seq, callback, args))
+            seq += 1
+        if not events:
+            return []
+        self._seq = seq
+        self._live += len(events)
+        heap = self._heap
+        if len(events) * 4 >= len(heap):
+            heap.extend(events)
+            heapq.heapify(heap)
+        else:
+            push = heapq.heappush
+            for event in events:
+                push(heap, event)
+        return [EventHandle(event, self) for event in events]
+
     def stop(self) -> None:
         """Make the running :meth:`run` return after the current event."""
         self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        self._dead += 1
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop buried cancelled events and rebuild the heap.
+
+        ``(time, seq)`` totally orders events, so heapify after filtering
+        reproduces the exact pop order the full heap would have produced.
+        """
+        self._heap = [event for event in self._heap if event.state == _PENDING]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     # ------------------------------------------------------------------
     def run(self, *, until: float | None = None, max_events: int | None = None) -> int:
@@ -117,20 +211,29 @@ class Scheduler:
             raise SimulationError(f"cannot run until {until}, already at {self._now}")
         self._stopped = False
         processed = 0
-        while self._heap and not self._stopped:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and not self._stopped:
             if max_events is not None and processed >= max_events:
                 break
-            event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
+            event = heap[0]
+            if event.state == _CANCELLED:
+                pop(heap)
+                self._dead -= 1
                 continue
             if until is not None and event.time > until:
                 break
-            heapq.heappop(self._heap)
+            pop(heap)
+            event.state = _FIRED
+            self._live -= 1
             self._now = event.time
             event.callback(*event.args)
             processed += 1
             self._events_processed += 1
+            if heap is not self._heap:
+                # The callback cancelled enough events to trigger compaction,
+                # which rebuilt the heap: rebind the local alias.
+                heap = self._heap
         if until is not None and not self._stopped:
             self._now = max(self._now, until)
         return processed

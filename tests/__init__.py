@@ -1,0 +1,6 @@
+"""Test suite package.
+
+The ``__init__`` files make ``tests`` a real package so modules can use
+relative imports of the shared :mod:`tests.helpers` (``from ..helpers
+import ...``) under pytest's default import mode.
+"""

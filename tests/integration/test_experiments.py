@@ -6,8 +6,6 @@ what is flat, what decreases, what collapses to zero) rather than absolute
 numbers.
 """
 
-import math
-
 import pytest
 
 from repro.experiments import (

@@ -1,0 +1,81 @@
+"""End-to-end tests of ``python -m repro`` (the harness CLI).
+
+A tiny T2 grid keeps the run under a few seconds; the critical acceptance
+property — rerunning the same grid is served from cache and rewrites a
+byte-identical artifact — is asserted on real experiment output.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import t2_impact_of_f
+from repro.harness import ResultCache, run_grid, write_artifact
+from repro.harness.cli import main
+
+
+class TestCliList:
+    def test_list_names_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("t1", "t2", "f2", "e2", "a2"):
+            assert exp_id in out
+
+
+class TestCliRun:
+    def test_unknown_experiment_fails(self, tmp_path, capsys):
+        assert main(["run", "zz", "--out", str(tmp_path)]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_writes_artifact_and_caches(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        argv = ["run", "t2", "--workers", "2", "--out", str(out), "--quiet"]
+        assert main(argv) == 0
+        artifact = out / "BENCH_T2.json"
+        first = artifact.read_bytes()
+        payload = json.loads(first)
+        assert payload["experiment"] == "t2"
+        assert payload["schema"] == "repro-bench/1"
+        assert len(payload["cells"]) == len(t2_impact_of_f.T2Params().f_values)
+        assert payload["tables"][0]["rows"]
+
+        # Second run: every cell cached, artifact byte-identical.
+        assert main(argv) == 0
+        summary = capsys.readouterr().out
+        assert "(4 cached)" in summary.splitlines()[-1]
+        assert artifact.read_bytes() == first
+
+    def test_seed_override_changes_results(self, tmp_path):
+        out = tmp_path / "results"
+        assert main(["run", "t2", "--out", str(out), "--quiet"]) == 0
+        first = (out / "BENCH_T2.json").read_bytes()
+        assert main(["run", "t2", "--out", str(out), "--quiet", "--seed", "2"]) == 0
+        assert (out / "BENCH_T2.json").read_bytes() != first
+
+
+class TestGridEquivalence:
+    """The harness reproduces exactly what the legacy run() wrappers report."""
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_t2_table_matches_run_wrapper(self, workers, tmp_path):
+        params = t2_impact_of_f.T2Params(n=12, f_values=(1, 5), horizon=25.0)
+        via_wrapper = t2_impact_of_f.run(params)
+        cache = ResultCache(tmp_path / "cache")
+        via_grid = run_grid(
+            t2_impact_of_f.SPEC, params, workers=workers, cache=cache
+        ).tables()[0]
+        assert via_grid.headers == via_wrapper.headers
+        assert [list(row) for row in via_grid.rows] == [
+            list(row) for row in via_wrapper.rows
+        ]
+
+    def test_artifact_of_cached_grid_is_byte_identical(self, tmp_path):
+        params = t2_impact_of_f.T2Params(n=10, f_values=(1, 3), horizon=20.0)
+        cache = ResultCache(tmp_path / "cache")
+        first = write_artifact(
+            tmp_path, run_grid(t2_impact_of_f.SPEC, params, cache=cache)
+        ).read_bytes()
+        second = write_artifact(
+            tmp_path, run_grid(t2_impact_of_f.SPEC, params, cache=cache)
+        ).read_bytes()
+        assert first == second

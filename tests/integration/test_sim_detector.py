@@ -6,7 +6,6 @@ propagation machinery (Lemma 1) — on full runs with real (simulated)
 latencies, pacing and fault injection.
 """
 
-import pytest
 
 from repro.core.properties import find_mp_witness
 from repro.metrics import accuracy_stabilization, detection_stats, mistake_stats

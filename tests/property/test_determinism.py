@@ -7,7 +7,7 @@ in EXPERIMENTS.md depends on it.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import ExponentialLatency, LogNormalLatency, QueryPacing, SimCluster
+from repro.sim import LogNormalLatency, QueryPacing, SimCluster
 from repro.sim.cluster import heartbeat_driver_factory, time_free_driver_factory
 from repro.sim.faults import CrashFault, FaultPlan
 

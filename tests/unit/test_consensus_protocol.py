@@ -7,7 +7,7 @@ simply never delivering the coordinator's messages.
 
 import pytest
 
-from repro.consensus.messages import Ack, Decide, Estimate, Nack, Proposal
+from repro.consensus.messages import Ack, Decide, Estimate, Proposal
 from repro.consensus.protocol import ChandraTouegConsensus, ConsensusConfig
 from repro.core.effects import SendTo
 from repro.errors import ConfigurationError, ConsensusError

@@ -122,9 +122,146 @@ class TestCancellation:
         assert handle.cancel() is True
         assert handle.cancel() is False
 
+    def test_cancel_after_fire_reports_false(self):
+        scheduler = Scheduler()
+        fired = []
+        handle = scheduler.schedule_at(1.0, fired.append, "x")
+        scheduler.run()
+        assert fired == ["x"]
+        assert handle.fired is True
+        assert handle.cancel() is False
+        assert handle.cancelled is False
+
     def test_pending_events_excludes_cancelled(self):
         scheduler = Scheduler()
         scheduler.schedule_at(1.0, lambda: None)
         handle = scheduler.schedule_at(2.0, lambda: None)
         handle.cancel()
         assert scheduler.pending_events() == 1
+
+    def test_cancel_during_callback_suppresses_later_event(self):
+        scheduler = Scheduler()
+        fired = []
+        doomed = scheduler.schedule_at(2.0, fired.append, "no")
+        scheduler.schedule_at(1.0, lambda: doomed.cancel())
+        scheduler.run()
+        assert fired == []
+
+
+class TestLazyDeletionHeap:
+    """The lazy-deletion heap (with compaction) must never change semantics."""
+
+    def test_mass_cancellation_triggers_compaction(self):
+        scheduler = Scheduler()
+        fired = []
+        handles = [scheduler.schedule_at(1.0 + i, fired.append, i) for i in range(500)]
+        survivors = [i for i in range(500) if i % 7 == 0]
+        for i, handle in enumerate(handles):
+            if i % 7 != 0:
+                assert handle.cancel() is True
+        # Compaction has shrunk the heap below the cancel count...
+        assert len(scheduler._heap) < 500
+        assert scheduler.pending_events() == len(survivors)
+        # ...and the surviving events still fire, in order.
+        scheduler.run()
+        assert fired == survivors
+
+    def test_determinism_under_interleaved_cancel(self):
+        """Identical schedule/cancel scripts produce identical fire sequences
+        whether or not compaction kicked in along the way."""
+
+        def script(cancel_batch: int) -> list[int]:
+            scheduler = Scheduler()
+            fired = []
+            handles = {}
+            for i in range(300):
+                handles[i] = scheduler.schedule_at(float(i % 13) + 1.0, fired.append, i)
+            for i in range(0, 300, cancel_batch):
+                handles[i].cancel()
+            scheduler.run()
+            return fired
+
+        # cancel_batch=2 cancels every other event; cancel_batch=300 only one.
+        fired_compacted = script(2)
+        fired_quiet = script(300)
+        expected_all = sorted(range(300), key=lambda i: (float(i % 13) + 1.0, i))
+        assert fired_quiet == [i for i in expected_all if i % 300 != 0]
+        assert fired_compacted == [i for i in expected_all if i % 2 != 0]
+
+    def test_same_timestamp_order_survives_compaction(self):
+        scheduler = Scheduler()
+        fired = []
+        keepers = [scheduler.schedule_at(5.0, fired.append, f"k{i}") for i in range(5)]
+        doomed = [scheduler.schedule_at(5.0, fired.append, f"d{i}") for i in range(200)]
+        for handle in doomed:
+            handle.cancel()
+        assert all(not handle.cancelled for handle in keepers)
+        scheduler.run()
+        assert fired == [f"k{i}" for i in range(5)]
+
+
+class TestScheduleBatch:
+    def test_batch_fires_in_time_then_insertion_order(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_batch(
+            [
+                (2.0, fired.append, ("late",)),
+                (1.0, fired.append, ("early",)),
+                (2.0, fired.append, ("late-2",)),
+            ]
+        )
+        scheduler.run()
+        assert fired == ["early", "late", "late-2"]
+
+    def test_batch_interleaves_with_singly_scheduled_events(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_at(1.0, fired.append, "single")
+        scheduler.schedule_batch([(1.0, fired.append, ("batched",))])
+        scheduler.run()
+        assert fired == ["single", "batched"]
+
+    def test_batch_handles_cancel(self):
+        scheduler = Scheduler()
+        fired = []
+        handles = scheduler.schedule_batch(
+            [(1.0, fired.append, (i,)) for i in range(4)]
+        )
+        handles[1].cancel()
+        scheduler.run()
+        assert fired == [0, 2, 3]
+        assert [handle.fired for handle in handles] == [True, False, True, True]
+
+    def test_batch_in_the_past_is_rejected_atomically(self):
+        scheduler = Scheduler()
+        scheduler.schedule_at(5.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.schedule_batch([(6.0, lambda: None, ()), (1.0, lambda: None, ())])
+        # The valid first item must not have been committed.
+        assert scheduler.pending_events() == 0
+
+    def test_empty_batch_is_a_no_op(self):
+        scheduler = Scheduler()
+        assert scheduler.schedule_batch([]) == []
+        assert scheduler.pending_events() == 0
+
+    def test_batch_matches_sequential_scheduling_exactly(self):
+        """A batch and the equivalent schedule_at loop fire identically."""
+        items = [((i * 7) % 5 + 1.0, i) for i in range(50)]
+
+        def run_with(batch: bool) -> list[int]:
+            scheduler = Scheduler()
+            fired = []
+            if batch:
+                scheduler.schedule_batch(
+                    [(t, fired.append, (i,)) for t, i in items]
+                )
+            else:
+                for t, i in items:
+                    scheduler.schedule_at(t, fired.append, i)
+            scheduler.run()
+            return fired
+
+        assert run_with(batch=True) == run_with(batch=False)

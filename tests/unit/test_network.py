@@ -7,7 +7,7 @@ from repro.sim.engine import Scheduler
 from repro.sim.latency import ConstantLatency
 from repro.sim.network import SimNetwork
 from repro.sim.rng import RngStreams
-from repro.sim.topology import Topology, full_mesh, ring
+from repro.sim.topology import full_mesh, ring
 
 
 def make_network(topology=None, *, latency=None, loss_rate=0.0, seed=1):

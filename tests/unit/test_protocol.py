@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import DetectorConfig, Query, Response, TimeFreeDetector
+from repro.core import DetectorConfig, Query, Response
 from repro.core.effects import Broadcast, SendTo
 from repro.errors import ConfigurationError, MembershipError, ProtocolError
 
