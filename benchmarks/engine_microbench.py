@@ -1,22 +1,14 @@
 """Microbenchmark for ``repro.sim.engine.Scheduler`` hot paths.
 
-Run standalone (it is not collected by pytest)::
+Thin wrapper over :mod:`repro.harness.microbench` (the canonical home of
+the workloads, also reachable as ``python -m repro bench``, which
+additionally writes a ``BENCH_MICRO.json`` artifact).  Run standalone
+(it is not collected by pytest)::
 
     PYTHONPATH=src python benchmarks/engine_microbench.py [--events N]
 
-Four workloads bracket what simulations actually do to the scheduler:
-
-* ``chain``        — one event schedules the next (timer-wheel pattern;
-  pure push/pop throughput at a tiny heap).
-* ``fanout``       — pre-schedule N events, drain them (large-heap pops).
-* ``churn``        — schedule two, cancel one, repeat (the heartbeat
-  re-arm pattern; exercises lazy deletion and compaction).
-* ``batch``        — schedule N events in batches of 100 (broadcast /
-  cluster-start pattern; uses ``schedule_batch`` when available).
-* ``cluster``      — end-to-end ``SimCluster`` heartbeat run (n=40).
-
 Numbers on the dev container (Python 3.11, ``--events 200000``), seed
-engine vs. this PR's ``__slots__`` + lazy-deletion + batched engine:
+engine vs. PR 1's ``__slots__`` + lazy-deletion + batched engine:
 
 ======== ============== ==============
 workload before (kev/s) after (kev/s)
@@ -32,98 +24,8 @@ cluster         ~112           ~125
 from __future__ import annotations
 
 import argparse
-import time
 
-from repro.sim.engine import Scheduler
-
-
-def _timed(fn) -> float:
-    started = time.perf_counter()
-    fn()
-    return time.perf_counter() - started
-
-
-def bench_chain(n: int) -> float:
-    scheduler = Scheduler()
-    remaining = [n]
-
-    def tick() -> None:
-        if remaining[0] > 0:
-            remaining[0] -= 1
-            scheduler.schedule_after(0.001, tick)
-
-    scheduler.schedule_at(0.0, tick)
-    return _timed(scheduler.run)
-
-
-def bench_fanout(n: int) -> float:
-    scheduler = Scheduler()
-    for i in range(n):
-        scheduler.schedule_at(i * 0.001, _noop)
-    return _timed(scheduler.run)
-
-
-def bench_churn(n: int) -> float:
-    scheduler = Scheduler()
-    remaining = [n]
-
-    def rearm() -> None:
-        if remaining[0] <= 0:
-            return
-        remaining[0] -= 1
-        doomed = scheduler.schedule_after(10.0, _noop)
-        scheduler.schedule_after(0.001, rearm)
-        doomed.cancel()
-
-    scheduler.schedule_at(0.0, rearm)
-    return _timed(scheduler.run)
-
-
-def bench_batch(n: int) -> float:
-    scheduler = Scheduler()
-    batch_size = 100
-
-    def fill() -> None:
-        base = scheduler.now
-        items = [(base + i * 0.001, _noop, ()) for i in range(batch_size)]
-        if hasattr(scheduler, "schedule_batch"):
-            scheduler.schedule_batch(items)
-        else:  # seed engine: one push per event
-            for at, callback, args in items:
-                scheduler.schedule_at(at, callback, *args)
-
-    for round_index in range(n // batch_size):
-        scheduler.schedule_at(round_index * 1.0, fill)
-    return _timed(scheduler.run)
-
-
-def bench_cluster(n: int) -> float:
-    from repro.sim.cluster import SimCluster, heartbeat_driver_factory
-
-    horizon = max(5.0, n / 10_000)
-    cluster = SimCluster(
-        n=40,
-        driver_factory=heartbeat_driver_factory(period=0.5, timeout=1.5),
-        seed=7,
-        start_stagger=0.5,
-    )
-    elapsed = _timed(lambda: cluster.run(until=horizon))
-    # Normalise to events for the kev/s report.
-    bench_cluster.events = cluster.scheduler.events_processed  # type: ignore[attr-defined]
-    return elapsed
-
-
-def _noop() -> None:
-    return None
-
-
-WORKLOADS = {
-    "chain": bench_chain,
-    "fanout": bench_fanout,
-    "churn": bench_churn,
-    "batch": bench_batch,
-    "cluster": bench_cluster,
-}
+from repro.harness.microbench import WORKLOADS
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -29,6 +29,7 @@ Packages
 
 ==================  =====================================================
 ``repro.core``      the paper's algorithm (sans-I/O), FD classes, Omega
+``repro.detectors`` pluggable detector registry + unified core facade
 ``repro.partial``   unknown membership / partial connectivity / mobility
 ``repro.sim``       deterministic discrete-event simulation substrate
 ``repro.runtime``   asyncio runtime (in-memory and UDP transports)
@@ -37,6 +38,11 @@ Packages
 ``repro.metrics``   failure-detector QoS from run traces
 ``repro.experiments`` every table/figure, regenerable from code
 ==================  =====================================================
+
+Deploy any registered family — say phi-accrual — the same way::
+
+    cluster = LocalCluster(n=5, f=2, detector="phi",
+                           detector_params={"period": 0.05, "threshold": 4.0})
 """
 
 from .core import (

@@ -1,0 +1,119 @@
+"""String-keyed plugin registry of detector families.
+
+Mirrors the library's other registries (:mod:`repro.harness.registry` for
+experiment grids, :func:`repro.core.messages.register_message` for wire
+messages): a family registers a :class:`~repro.detectors.spec.DetectorSpec`
+under a stable lower-case key, and every consumer — simulator clusters,
+the asyncio runtime, experiment grids, the CLI's ``--detector`` axis —
+resolves families by key instead of importing concrete classes.
+
+The six built-in families (:mod:`repro.detectors.builtin`) are registered
+on first lookup; external code can register additional families (e.g. a
+crash-recovery or ADD-channel detector) at import time with
+:func:`register_detector` and they become sweepable everywhere for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import ConfigurationError
+from .spec import BuiltDetector, DetectorContext, DetectorMode, DetectorSpec, pacing_fields
+
+__all__ = [
+    "register_detector",
+    "get_detector",
+    "all_detectors",
+    "detector_keys",
+    "build_detector",
+    "sim_driver_factory",
+]
+
+_REGISTRY: dict[str, DetectorSpec] = {}
+
+
+def register_detector(spec: DetectorSpec) -> DetectorSpec:
+    """Register a family; the key must be new (idempotent for same spec)."""
+    existing = _REGISTRY.get(spec.key)
+    if existing is not None and existing is not spec:
+        raise ConfigurationError(f"detector key {spec.key!r} is already registered")
+    _REGISTRY[spec.key] = spec
+    return spec
+
+
+def _ensure_builtin() -> None:
+    from . import builtin  # noqa: F401  (registers on import)
+
+
+def get_detector(key: str) -> DetectorSpec:
+    """The spec registered under ``key`` (case-insensitive)."""
+    _ensure_builtin()
+    spec = _REGISTRY.get(key.lower() if isinstance(key, str) else key)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown detector kind {key!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return spec
+
+
+def all_detectors() -> dict[str, DetectorSpec]:
+    """Every registered family, keyed and sorted by registry key."""
+    _ensure_builtin()
+    return {key: _REGISTRY[key] for key in sorted(_REGISTRY)}
+
+
+def detector_keys() -> list[str]:
+    return list(all_detectors())
+
+
+def build_detector(
+    key: str, context: DetectorContext, params: Any | None = None, /, **overrides: Any
+) -> BuiltDetector:
+    """Build one process's core for the family registered under ``key``."""
+    return get_detector(key).build(context, params, **overrides)
+
+
+# ---------------------------------------------------------------------------
+# simulator integration
+# ---------------------------------------------------------------------------
+
+
+def sim_driver_factory(
+    key: str,
+    f: int,
+    params: Any | None = None,
+    *,
+    unified: bool = False,
+    **overrides: Any,
+) -> Callable:
+    """A :class:`~repro.sim.cluster.SimCluster` driver factory for ``key``.
+
+    Query families are hosted on the native
+    :class:`~repro.sim.node.QueryResponseDriver` (full round/trace
+    fidelity: RoundRecords, Omega round observation, retry accounting);
+    timed families on :class:`~repro.sim.node.TimedDriver`.  With
+    ``unified=True`` every family — including query families, via
+    :class:`~repro.detectors.facade.QueryRoundFacade` — is hosted on
+    :class:`~repro.sim.node.TimedDriver` through the unified facade; the
+    suspect-convergence behaviour is identical, only the per-round trace
+    records are not emitted.
+    """
+    spec = get_detector(key)
+    resolved = spec.make_params(params, **overrides)
+    spec.check_required(resolved)
+
+    from ..sim.node import QueryPacing, QueryResponseDriver, TimedDriver
+
+    def factory(process, cluster):
+        context = DetectorContext(
+            process_id=process.pid, membership=cluster.membership, f=f
+        )
+        built = spec.build(context, resolved)
+        if unified:
+            return TimedDriver(process, built.unified())
+        if spec.mode is DetectorMode.QUERY:
+            pacing = QueryPacing(**pacing_fields(resolved))
+            return QueryResponseDriver(process, built.core, pacing, elector=built.elector)
+        return TimedDriver(process, built.core)
+
+    return factory

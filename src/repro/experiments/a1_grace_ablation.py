@@ -30,7 +30,7 @@ from ..metrics import detection_stats, mistake_stats
 from ..sim.faults import CrashFault, FaultPlan
 from ..sim.latency import LogNormalLatency
 from .report import Table
-from .scenarios import TIME_FREE, run_scenario
+from .scenarios import run_scenario, setup_for
 
 __all__ = ["A1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 
@@ -39,6 +39,8 @@ __all__ = ["A1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 class A1Params:
     n: int = 15
     f: int = 3
+    #: registry key of the detector under test (sweepable axis)
+    detector: str = "time-free"
     graces: tuple[float, ...] = (0.0, 0.01, 0.1, 0.5, 1.0)
     #: pacing between rounds so Δ=0 does not run hot
     idle: float = 0.1
@@ -60,7 +62,7 @@ def cells(params: A1Params) -> list[dict]:
 def run_cell(params: A1Params, coords: dict, seed: int) -> dict:
     grace = coords["grace"]
     victim = params.n
-    setup = TIME_FREE.with_(grace=grace, idle=params.idle)
+    setup = setup_for(params.detector).with_(grace=grace, idle=params.idle)
     plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
     cluster = run_scenario(
         setup=setup,

@@ -24,10 +24,8 @@ from ..harness.runner import run_grid
 from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats
 from ..sim.faults import CrashFault, FaultPlan
-from ..sim.latency import ExponentialLatency
-from ..sim.cluster import SimCluster, time_free_driver_factory
-from ..sim.node import QueryPacing
 from .report import Table
+from .scenarios import run_scenario, setup_for
 
 __all__ = ["A2Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 
@@ -36,6 +34,8 @@ __all__ = ["A2Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 class A2Params:
     n: int = 10
     f: int = 2
+    #: registry key of the detector under test (sweepable axis)
+    detector: str = "time-free"
     loss_rates: tuple[float, ...] = (0.0, 0.1, 0.3)
     retry_settings: tuple[float | None, ...] = (None, 0.5)
     crash_at: float = 20.0
@@ -58,17 +58,19 @@ def cells(params: A2Params) -> list[dict]:
 
 def run_cell(params: A2Params, coords: dict, seed: int) -> dict:
     victim = params.n
-    pacing = QueryPacing(grace=params.grace, idle=0.1, retry=coords["retry"])
-    cluster = SimCluster(
+    setup = setup_for(params.detector).with_(
+        grace=params.grace, idle=0.1, retry=coords["retry"]
+    )
+    cluster = run_scenario(
+        setup=setup,
         n=params.n,
-        driver_factory=time_free_driver_factory(params.f, pacing),
-        latency=ExponentialLatency(0.001),
+        f=params.f,
+        horizon=params.horizon,
         seed=seed,
         fault_plan=FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)]),
         loss_rate=coords["loss"],
         start_stagger=params.grace,
     )
-    cluster.run(until=params.horizon)
     correct = cluster.correct_processes()
     # A process is "frozen" if it completed no round in the final
     # quarter of the run: its current query never reached quorum.

@@ -25,17 +25,24 @@ from ..sim.faults import uniform_crashes
 from ..sim.rng import RngStreams
 from ..sim.topology import manet_topology
 from .report import Table
-from .scenarios import GOSSIP, DetectorSetup, run_scenario
+from .scenarios import run_scenario, setup_for
 
 __all__ = ["E1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 
-_LABELS = {"time-free": "time-free (async)", "gossip": "Friedman-Tcharny"}
+#: legacy table labels for the default comparison pair
+_LABELS = {"partial": "time-free (async)", "gossip": "Friedman-Tcharny"}
+
+
+def _label(detector: str) -> str:
+    return _LABELS.get(detector, setup_for(detector).label)
 
 
 @dataclass(frozen=True)
 class E1Params:
     n: int = 50
     f: int = 5
+    #: registry keys of the detectors under comparison (sweepable axis)
+    detectors: tuple[str, ...] = ("partial", "gossip")
     densities: tuple[int, ...] = (7, 12, 20)
     crashes: int = 5
     crash_window: tuple[float, float] = (5.0, 20.0)
@@ -71,7 +78,7 @@ def cells(params: E1Params) -> list[dict]:
         {"target_d": target, "trial": trial, "detector": detector}
         for target in params.densities
         for trial in range(params.trials)
-        for detector in _LABELS
+        for detector in params.detectors
     ]
 
 
@@ -91,15 +98,11 @@ def run_cell(params: E1Params, coords: dict, seed: int) -> dict:
         start=params.crash_window[0],
         end=params.crash_window[1],
     )
-    if coords["detector"] == "time-free":
-        setup = DetectorSetup(
-            kind="partial",
-            label=_LABELS["time-free"],
-            grace=1.0,
-            d=topology.range_density(),
-        )
-    else:
-        setup = GOSSIP.with_(label=_LABELS["gossip"])
+    setup = setup_for(coords["detector"]).with_(label=_label(coords["detector"]))
+    if setup.kind == "partial":
+        # The partial detector's quorum is d - f; d must be the topology's
+        # actual range density.
+        setup = setup.with_(grace=1.0, d=topology.range_density())
     cluster = run_scenario(
         setup=setup,
         topology=topology.copy(),
@@ -141,20 +144,20 @@ def tabulate(params: E1Params, values: list[dict]) -> Table:
         group = grouped.setdefault(key, {"latencies": [], "undetected": 0})
         group["latencies"].extend(value["latencies"])
         group["undetected"] += value["undetected"]
-        if coords["detector"] == "time-free":
+        if coords["detector"] == params.detectors[0]:
             densities_by_target.setdefault(coords["target_d"], []).append(
                 value["actual_d"]
             )
     for target in params.densities:
         observed = densities_by_target[target]
         actual_d = round(sum(observed) / len(observed))
-        for detector in _LABELS:
+        for detector in params.detectors:
             group = grouped[(target, detector)]
             latencies = group["latencies"]
             table.add_row(
                 target,
                 actual_d,
-                _LABELS[detector],
+                _label(detector),
                 min(latencies) if latencies else None,
                 sum(latencies) / len(latencies) if latencies else None,
                 max(latencies) if latencies else None,

@@ -32,7 +32,7 @@ from ..sim.faults import FaultPlan, MobilityFault
 from ..sim.rng import RngStreams
 from ..sim.topology import Topology, manet_topology
 from .report import Table
-from .scenarios import DetectorSetup, run_scenario
+from .scenarios import run_scenario, setup_for
 
 __all__ = ["E2Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 
@@ -43,6 +43,8 @@ _VARIANTS = {"alg2": "algorithm 2", "no-eviction": "ablation: no eviction"}
 class E2Params:
     n: int = 30
     f: int = 1
+    #: registry key of the detector under test (sweepable axis)
+    detector: str = "partial"
     target_density: int = 7
     depart: float = 30.0
     arrive: float = 90.0
@@ -134,8 +136,7 @@ def run_cell(params: E2Params, coords: dict, seed: int) -> dict:
             )
         ]
     )
-    setup = DetectorSetup(
-        kind="partial",
+    setup = setup_for(params.detector).with_(
         label=_VARIANTS[coords["variant"]],
         grace=1.0,
         d=topology.range_density(),

@@ -19,17 +19,17 @@ from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats
 from ..sim.faults import CrashFault, FaultPlan
 from .report import Table
-from .scenarios import HEARTBEAT, TIME_FREE, run_scenario
+from .scenarios import run_scenario, setup_for
 
 __all__ = ["F1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
-
-_SETUPS = {"time-free": TIME_FREE, "heartbeat": HEARTBEAT}
 
 
 @dataclass(frozen=True)
 class F1Params:
     n: int = 20
     f: int = 4
+    #: registry keys of the detectors under comparison (sweepable axis)
+    detectors: tuple[str, ...] = ("time-free", "heartbeat")
     trials: int = 10
     crash_at: float = 10.0
     horizon: float = 25.0
@@ -44,7 +44,7 @@ class F1Params:
 def cells(params: F1Params) -> list[dict]:
     return [
         {"detector": detector, "trial": trial}
-        for detector in _SETUPS
+        for detector in params.detectors
         for trial in range(params.trials)
     ]
 
@@ -53,7 +53,7 @@ def run_cell(params: F1Params, coords: dict, seed: int) -> dict:
     victim = params.n  # symmetric under full mesh
     plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
     cluster = run_scenario(
-        setup=_SETUPS[coords["detector"]],
+        setup=setup_for(coords["detector"]),
         n=params.n,
         f=params.f,
         horizon=params.horizon,
@@ -74,22 +74,24 @@ def _quantile(sorted_values: list[float], q: float) -> float | None:
 
 
 def tabulate(params: F1Params, values: list[dict]) -> Table:
-    pooled: dict[str, list[float]] = {detector: [] for detector in _SETUPS}
+    pooled: dict[str, list[float]] = {detector: [] for detector in params.detectors}
     for coords, value in zip(cells(params), values):
         pooled[coords["detector"]].extend(value["latencies"])
-    tf = sorted(pooled["time-free"])
-    hb = sorted(pooled["heartbeat"])
+    series = {detector: sorted(pooled[detector]) for detector in params.detectors}
     table = Table(
         title=(
             f"F1: detection-time distribution (n={params.n}, f={params.f}, "
             f"{params.trials} trials pooled)"
         ),
-        headers=["quantile", "time-free (s)", "heartbeat (s)"],
+        headers=["quantile", *(f"{detector} (s)" for detector in params.detectors)],
     )
     for q in params.quantiles:
-        table.add_row(f"p{int(q * 100)}", _quantile(tf, q), _quantile(hb, q))
-    table.add_row("min", tf[0] if tf else None, hb[0] if hb else None)
-    table.add_row("max", tf[-1] if tf else None, hb[-1] if hb else None)
+        table.add_row(
+            f"p{int(q * 100)}",
+            *(_quantile(series[detector], q) for detector in params.detectors),
+        )
+    table.add_row("min", *(series[d][0] if series[d] else None for d in params.detectors))
+    table.add_row("max", *(series[d][-1] if series[d] else None for d in params.detectors))
     table.add_note("heartbeat support is [Θ-Δ, Θ] = [1, 2] s; time-free ≈ Δ + δ.")
     return table
 

@@ -36,7 +36,7 @@ from ..sim.latency import (
     RegimeShiftLatency,
 )
 from .report import Table
-from .scenarios import HEARTBEAT, PHI, TIME_FREE, DetectorSetup, run_scenario
+from .scenarios import DetectorSetup, run_scenario, setup_for
 
 __all__ = [
     "F2Params",
@@ -50,10 +50,20 @@ __all__ = [
 ]
 
 
+#: legacy table labels for the default comparison trio
+_LABELS = {
+    "time-free": "time-free",
+    "heartbeat": "heartbeat Θ=2s",
+    "phi": "phi-accrual t=8",
+}
+
+
 @dataclass(frozen=True)
 class F2Params:
     n: int = 15
     f: int = 3
+    #: registry keys of the detectors under comparison (sweepable axis)
+    detectors: tuple[str, ...] = ("time-free", "heartbeat", "phi")
     horizon: float = 60.0
     responsive: int = 1
     responsive_speedup: float = 8.0
@@ -75,11 +85,12 @@ class F2Params:
         )
 
 
-def _setups() -> dict[str, DetectorSetup]:
+def _setups(params: F2Params) -> dict[str, DetectorSetup]:
     return {
-        "time-free": TIME_FREE.with_(grace=1.0, label="time-free"),
-        "heartbeat": HEARTBEAT.with_(period=1.0, timeout=2.0, label="heartbeat Θ=2s"),
-        "phi": PHI.with_(period=1.0, label="phi-accrual t=8"),
+        detector: setup_for(detector).with_(
+            label=_LABELS.get(detector, setup_for(detector).label)
+        )
+        for detector in params.detectors
     }
 
 
@@ -96,7 +107,7 @@ def _shift_cells(params: F2Params) -> list[dict]:
     return [
         {"sweep": "shift", "stress": factor, "detector": detector}
         for factor in params.shift_factors
-        for detector in _setups()
+        for detector in params.detectors
     ]
 
 
@@ -104,7 +115,7 @@ def _sigma_cells(params: F2Params) -> list[dict]:
     return [
         {"sweep": "sigma", "stress": sigma, "detector": detector}
         for sigma in params.sigmas
-        for detector in _setups()
+        for detector in params.detectors
     ]
 
 
@@ -125,7 +136,7 @@ def run_cell(params: F2Params, coords: dict, seed: int) -> dict:
     else:
         latency = _biased(params, LogNormalLatency(params.delay_median, coords["stress"]))
     cluster = run_scenario(
-        setup=_setups()[coords["detector"]],
+        setup=_setups(params)[coords["detector"]],
         n=params.n,
         f=params.f,
         horizon=params.horizon,
@@ -157,8 +168,10 @@ def _headers() -> list[str]:
     ]
 
 
-def _fill(table: Table, grid: list[dict], values: list[dict], stress_format) -> Table:
-    setups = _setups()
+def _fill(
+    table: Table, params: F2Params, grid: list[dict], values: list[dict], stress_format
+) -> Table:
+    setups = _setups(params)
     for coords, value in zip(grid, values):
         table.add_row(
             stress_format(coords["stress"]),
@@ -178,7 +191,7 @@ def _shift_table(params: F2Params, values: list[dict]) -> Table:
         ),
         headers=_headers(),
     )
-    _fill(table, _shift_cells(params), values, lambda stress: f"x{stress:g}")
+    _fill(table, params, _shift_cells(params), values, lambda stress: f"x{stress:g}")
     table.add_note(
         "delay rescaling preserves response order: the time-free detector "
         "never suspects the responsive node at any factor; fixed timeouts "
@@ -201,7 +214,7 @@ def _sigma_table(params: F2Params, values: list[dict]) -> Table:
         ),
         headers=_headers(),
     )
-    return _fill(table, _sigma_cells(params), values, lambda stress: f"σ={stress:g}")
+    return _fill(table, params, _sigma_cells(params), values, lambda stress: f"σ={stress:g}")
 
 
 def tabulate(params: F2Params, values: list[dict]) -> list[Table]:

@@ -24,7 +24,7 @@ from ..harness.spec import ScenarioSpec
 from ..metrics import accuracy_stabilization
 from ..sim.latency import BiasedLatency, LogNormalLatency
 from .report import Table
-from .scenarios import TIME_FREE, run_scenario
+from .scenarios import run_scenario, setup_for
 
 __all__ = ["F3Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 
@@ -33,6 +33,8 @@ __all__ = ["F3Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 class F3Params:
     n: int = 10
     f: int = 4
+    #: registry key of the detector under test (sweepable axis)
+    detector: str = "time-free"
     horizon: float = 20.0
     speedups: tuple[float, ...] = (8.0, 2.0, 1.0, 0.5)
     favored: int = 1
@@ -56,7 +58,9 @@ def cells(params: F3Params) -> list[dict]:
 
 
 def run_cell(params: F3Params, coords: dict, seed: int) -> dict:
-    setup = TIME_FREE.with_(grace=params.grace, idle=params.idle, label="time-free")
+    setup = setup_for(params.detector).with_(
+        grace=params.grace, idle=params.idle, label="time-free"
+    )
     latency = BiasedLatency(
         LogNormalLatency(params.delay_median, params.delay_sigma),
         favored=frozenset({params.favored}),

@@ -2,44 +2,63 @@
 
 A scenario is: a topology, a latency model, a fault plan, and one detector
 deployed on every node.  :func:`run_scenario` assembles the cluster, runs it
-to the horizon and returns it (trace included).  Detector selection is by
-:class:`DetectorSetup`, so experiment tables can iterate over comparable
-configurations of the time-free detector and each baseline.
+to the horizon and returns it (trace included).  Detectors are selected by
+**registry key** (see :mod:`repro.detectors`) — pass a key string, or a
+:class:`DetectorSetup` when knobs need overriding — so experiment tables
+can iterate over comparable configurations of any registered family.
 
 Parameter conventions follow the paper family's evaluation: Δ (``period`` /
 query ``grace``) defaults to 1 s, Θ (``timeout``) to 2 s, and the one-hop
 delay δ averages 1 ms.
+
+.. deprecated::
+    :class:`DetectorSetup` predates the :mod:`repro.detectors` registry
+    and is kept as a thin compatibility shim: it is one flat bag of every
+    family's knobs, translated to the family's typed params at
+    ``driver_factory`` time.  New code should address families through
+    the registry (``sim_driver_factory(key, f, **params)``) or pass plain
+    key strings to :func:`run_scenario`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from ..errors import ConfigurationError
-from ..ids import ProcessId
-from ..sim.cluster import DriverFactory, SimCluster, timed_driver_factory, time_free_driver_factory
+from ..detectors import get_detector, sim_driver_factory
+from ..sim.cluster import DriverFactory, SimCluster
 from ..sim.faults import FaultPlan
 from ..sim.latency import ExponentialLatency, LatencyModel
-from ..sim.node import QueryPacing
 from ..sim.topology import Topology
 
-__all__ = ["DetectorSetup", "run_scenario", "TIME_FREE", "HEARTBEAT", "GOSSIP", "PHI"]
+__all__ = [
+    "DetectorSetup",
+    "run_scenario",
+    "setup_for",
+    "TIME_FREE",
+    "HEARTBEAT",
+    "GOSSIP",
+    "PHI",
+]
 
 
 @dataclass(frozen=True)
 class DetectorSetup:
-    """Which detector to deploy and with what knobs.
+    """Which detector to deploy and with what knobs (legacy shim).
 
-    ``kind`` is one of ``time-free``, ``partial``, ``heartbeat``,
-    ``heartbeat-adaptive``, ``gossip``, ``phi``.  Timer-based kinds use
-    ``period``/``timeout`` (and ``phi_threshold``); query-response kinds use
-    ``grace``/``idle`` (and ``d`` for the partial detector).
+    ``kind`` is any :mod:`repro.detectors` registry key (built-in:
+    ``time-free``, ``partial``, ``heartbeat``, ``heartbeat-adaptive``,
+    ``gossip``, ``phi``).  Timer-based kinds use ``period``/``timeout``
+    (and ``phi_threshold``); query-response kinds use ``grace``/``idle``
+    (plus ``d`` for the partial detector and ``retry`` for the
+    lossy-channel extension).  Knobs that do not apply to ``kind`` are
+    ignored, which is what lets one flat setup sweep across families.
     """
 
     kind: str
     label: str = ""
     grace: float = 1.0
     idle: float = 0.0
+    retry: float | None = None
     d: int | None = None
     period: float = 1.0
     timeout: float = 2.0
@@ -55,51 +74,25 @@ class DetectorSetup:
     def with_(self, **changes) -> "DetectorSetup":
         return replace(self, **changes)
 
+    def registry_params(self) -> dict:
+        """This setup's knobs, narrowed to the family's typed params."""
+        spec = get_detector(self.kind)
+        legacy = {
+            "grace": self.grace,
+            "idle": self.idle,
+            "retry": self.retry,
+            "with_omega": self.with_omega,
+            "d": self.d,
+            "mobility": self.mobility,
+            "period": self.period,
+            "timeout": self.timeout,
+            "threshold": self.phi_threshold,
+            "timeout_increment": self.timeout_increment,
+        }
+        return {name: legacy[name] for name in spec.param_names() if name in legacy}
+
     def driver_factory(self, f: int) -> DriverFactory:
-        pacing = QueryPacing(grace=self.grace, idle=self.idle)
-        if self.kind == "time-free":
-            return time_free_driver_factory(f, pacing, with_omega=self.with_omega)
-        if self.kind == "partial":
-            from ..partial import partial_driver_factory
-
-            if self.d is None:
-                raise ConfigurationError("partial detector needs the range density d")
-            return partial_driver_factory(self.d, f, pacing, mobility=self.mobility)
-        if self.kind in ("heartbeat", "heartbeat-adaptive"):
-            from ..baselines.heartbeat import HeartbeatDetector
-
-            adaptive = self.kind == "heartbeat-adaptive"
-
-            def make_heartbeat(pid: ProcessId, members: frozenset) -> HeartbeatDetector:
-                return HeartbeatDetector(
-                    pid,
-                    members,
-                    period=self.period,
-                    timeout=self.timeout,
-                    adaptive=adaptive,
-                    timeout_increment=self.timeout_increment,
-                )
-
-            return timed_driver_factory(make_heartbeat)
-        if self.kind == "gossip":
-            from ..baselines.gossip import GossipHeartbeatDetector
-
-            def make_gossip(pid: ProcessId, members: frozenset) -> GossipHeartbeatDetector:
-                return GossipHeartbeatDetector(
-                    pid, members, period=self.period, timeout=self.timeout
-                )
-
-            return timed_driver_factory(make_gossip)
-        if self.kind == "phi":
-            from ..baselines.phi_accrual import PhiAccrualDetector
-
-            def make_phi(pid: ProcessId, members: frozenset) -> PhiAccrualDetector:
-                return PhiAccrualDetector(
-                    pid, members, period=self.period, threshold=self.phi_threshold
-                )
-
-            return timed_driver_factory(make_phi)
-        raise ConfigurationError(f"unknown detector kind {self.kind!r}")
+        return sim_driver_factory(self.kind, f, **self.registry_params())
 
 
 #: Canonical comparable configurations (Δ = 1 s everywhere, Θ = 2 s).
@@ -108,10 +101,33 @@ HEARTBEAT = DetectorSetup(kind="heartbeat", label="heartbeat Θ=2s", period=1.0,
 GOSSIP = DetectorSetup(kind="gossip", label="gossip FT Θ=2s", period=1.0, timeout=2.0)
 PHI = DetectorSetup(kind="phi", label="phi-accrual", period=1.0, phi_threshold=8.0)
 
+_PRESETS = {
+    TIME_FREE.kind: TIME_FREE,
+    HEARTBEAT.kind: HEARTBEAT,
+    GOSSIP.kind: GOSSIP,
+    PHI.kind: PHI,
+}
+
+
+def setup_for(detector: "str | DetectorSetup") -> DetectorSetup:
+    """Resolve a registry key (or pass through a setup) to a DetectorSetup.
+
+    Keys with a canonical comparable preset (``time-free``, ``heartbeat``,
+    ``gossip``, ``phi``) resolve to it — same Δ/Θ and table labels as
+    always; any other registered key resolves to a default-knob setup.
+    """
+    if isinstance(detector, DetectorSetup):
+        return detector
+    preset = _PRESETS.get(detector)
+    if preset is not None:
+        return preset
+    get_detector(detector)  # raise early on unknown keys
+    return DetectorSetup(kind=detector)
+
 
 def run_scenario(
     *,
-    setup: DetectorSetup,
+    setup: "DetectorSetup | str",
     f: int,
     horizon: float,
     n: int | None = None,
@@ -119,9 +135,11 @@ def run_scenario(
     latency: LatencyModel | None = None,
     fault_plan: FaultPlan | None = None,
     seed: int = 1,
+    loss_rate: float = 0.0,
     start_stagger: float | None = None,
 ) -> SimCluster:
     """Build the cluster, run it to ``horizon``, return it (trace inside)."""
+    setup = setup_for(setup)
     if latency is None:
         latency = ExponentialLatency(mean=0.001)  # the paper's δ ≈ 1 ms
     if start_stagger is None:
@@ -134,6 +152,7 @@ def run_scenario(
         latency=latency,
         seed=seed,
         fault_plan=fault_plan,
+        loss_rate=loss_rate,
         start_stagger=start_stagger,
     )
     cluster.run(until=horizon)

@@ -21,16 +21,16 @@ from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats
 from ..sim.faults import CrashFault, FaultPlan
 from .report import Table
-from .scenarios import HEARTBEAT, TIME_FREE, run_scenario
+from .scenarios import run_scenario, setup_for
 
 __all__ = ["T1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
-
-_SETUPS = {"time-free": TIME_FREE, "heartbeat": HEARTBEAT}
 
 
 @dataclass(frozen=True)
 class T1Params:
     sizes: tuple[int, ...] = (10, 20, 30)
+    #: registry keys of the detectors under comparison (sweepable axis)
+    detectors: tuple[str, ...] = ("time-free", "heartbeat")
     f_fraction: float = 0.2
     trials: int = 3
     crash_at: float = 15.0
@@ -46,7 +46,7 @@ def cells(params: T1Params) -> list[dict]:
     return [
         {"n": n, "detector": detector, "trial": trial}
         for n in params.sizes
-        for detector in _SETUPS
+        for detector in params.detectors
         for trial in range(params.trials)
     ]
 
@@ -57,7 +57,7 @@ def run_cell(params: T1Params, coords: dict, seed: int) -> dict:
     victim = n  # crash the highest id; ids are symmetric under full mesh
     plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
     cluster = run_scenario(
-        setup=_SETUPS[coords["detector"]],
+        setup=setup_for(coords["detector"]),
         n=n,
         f=f,
         horizon=params.horizon,
@@ -71,21 +71,17 @@ def run_cell(params: T1Params, coords: dict, seed: int) -> dict:
 
 
 def tabulate(params: T1Params, values: list[dict]) -> Table:
+    per_detector_headers = [
+        f"{detector} {stat} (s)" for detector in params.detectors for stat in ("mean", "max")
+    ]
     table = Table(
         title="T1: crash detection time vs system size (full mesh, 1 crash)",
-        headers=[
-            "n",
-            "f",
-            "time-free mean (s)",
-            "time-free max (s)",
-            "heartbeat mean (s)",
-            "heartbeat max (s)",
-        ],
+        headers=["n", "f", *per_detector_headers],
     )
     by_coords = dict(zip((tuple(sorted(c.items())) for c in cells(params)), values))
     for n in params.sizes:
         per_detector: dict[str, tuple[float, float]] = {}
-        for detector in _SETUPS:
+        for detector in params.detectors:
             means, maxes = [], []
             for trial in range(params.trials):
                 key = tuple(sorted({"n": n, "detector": detector, "trial": trial}.items()))
@@ -100,10 +96,7 @@ def tabulate(params: T1Params, values: list[dict]) -> Table:
         table.add_row(
             n,
             max(1, int(n * params.f_fraction)),
-            per_detector["time-free"][0],
-            per_detector["time-free"][1],
-            per_detector["heartbeat"][0],
-            per_detector["heartbeat"][1],
+            *(v for detector in params.detectors for v in per_detector[detector]),
         )
     table.add_note(
         "Δ = 1 s (query grace / heartbeat period), Θ = 2 s, δ ≈ 1 ms exponential."

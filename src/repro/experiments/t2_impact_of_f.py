@@ -19,7 +19,7 @@ from ..metrics import detection_stats, mistake_stats
 from ..sim.faults import CrashFault, FaultPlan
 from ..sim.latency import LogNormalLatency
 from .report import Table
-from .scenarios import TIME_FREE, run_scenario
+from .scenarios import run_scenario, setup_for
 
 __all__ = ["T2Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 
@@ -27,6 +27,8 @@ __all__ = ["T2Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 @dataclass(frozen=True)
 class T2Params:
     n: int = 30
+    #: registry key of the detector under test (sweepable axis)
+    detector: str = "time-free"
     f_values: tuple[int, ...] = (1, 5, 10, 14)
     crash_at: float = 15.0
     horizon: float = 40.0
@@ -49,7 +51,7 @@ def run_cell(params: T2Params, coords: dict, seed: int) -> dict:
     victim = params.n
     plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
     cluster = run_scenario(
-        setup=TIME_FREE,
+        setup=setup_for(params.detector),
         n=params.n,
         f=f,
         horizon=params.horizon,

@@ -15,16 +15,16 @@ from ..harness.runner import run_grid
 from ..harness.spec import ScenarioSpec
 from ..metrics import message_load
 from .report import Table
-from .scenarios import GOSSIP, HEARTBEAT, PHI, TIME_FREE, run_scenario
+from .scenarios import run_scenario, setup_for
 
 __all__ = ["T3Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
-
-_SETUPS = {"time-free": TIME_FREE, "heartbeat": HEARTBEAT, "gossip": GOSSIP, "phi": PHI}
 
 
 @dataclass(frozen=True)
 class T3Params:
     sizes: tuple[int, ...] = (10, 30)
+    #: registry keys of the detectors under comparison (sweepable axis)
+    detectors: tuple[str, ...] = ("time-free", "heartbeat", "gossip", "phi")
     f_fraction: float = 0.2
     horizon: float = 20.0
     seed: int = 1
@@ -36,7 +36,9 @@ class T3Params:
 
 def cells(params: T3Params) -> list[dict]:
     return [
-        {"n": n, "detector": detector} for n in params.sizes for detector in _SETUPS
+        {"n": n, "detector": detector}
+        for n in params.sizes
+        for detector in params.detectors
     ]
 
 
@@ -44,7 +46,11 @@ def run_cell(params: T3Params, coords: dict, seed: int) -> dict:
     n = coords["n"]
     f = max(1, int(n * params.f_fraction))
     cluster = run_scenario(
-        setup=_SETUPS[coords["detector"]], n=n, f=f, horizon=params.horizon, seed=seed
+        setup=setup_for(coords["detector"]),
+        n=n,
+        f=f,
+        horizon=params.horizon,
+        seed=seed,
     )
     load = message_load(cluster.trace, horizon=params.horizon, n=n)
     kinds = {k: v for k, v in load.items() if k != "total"}
@@ -64,7 +70,7 @@ def tabulate(params: T3Params, values: list[dict]) -> Table:
     for coords, value in zip(cells(params), values):
         table.add_row(
             coords["n"],
-            _SETUPS[coords["detector"]].label,
+            setup_for(coords["detector"]).label,
             value["total"],
             value["dominant"],
             value["dominant_load"],

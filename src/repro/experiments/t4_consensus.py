@@ -21,17 +21,25 @@ from ..harness.spec import ScenarioSpec
 from ..sim.faults import CrashFault, FaultPlan
 from ..sim.latency import ExponentialLatency
 from .report import Table
-from .scenarios import HEARTBEAT, TIME_FREE, DetectorSetup
+from .scenarios import DetectorSetup, setup_for
 
 __all__ = ["T4Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
 
 _SCENARIOS = ("fault-free", "coordinator crash")
+
+#: legacy table labels for the default comparison pair
+_LABELS = {
+    "time-free": lambda delta: f"time-free Δ={delta}s",
+    "heartbeat": lambda delta: f"heartbeat Θ={2 * delta}s",
+}
 
 
 @dataclass(frozen=True)
 class T4Params:
     n: int = 9
     f: int = 4
+    #: registry keys of the detectors under comparison (sweepable axis)
+    detectors: tuple[str, ...] = ("time-free", "heartbeat")
     horizon: float = 60.0
     delay_mean: float = 0.001
     #: query grace / heartbeat period; timeout is 2x
@@ -44,19 +52,20 @@ class T4Params:
 
 
 def _setup(params: T4Params, detector: str) -> DetectorSetup:
-    if detector == "time-free":
-        return TIME_FREE.with_(grace=params.delta, label=f"time-free Δ={params.delta}s")
-    return HEARTBEAT.with_(
+    """Any registered family, with its timing knobs rescaled to Δ."""
+    label_fn = _LABELS.get(detector, lambda delta: f"{detector} Δ={delta}s")
+    return setup_for(detector).with_(
+        grace=params.delta,
         period=params.delta,
         timeout=2 * params.delta,
-        label=f"heartbeat Θ={2 * params.delta}s",
+        label=label_fn(params.delta),
     )
 
 
 def cells(params: T4Params) -> list[dict]:
     return [
         {"detector": detector, "scenario": scenario}
-        for detector in ("time-free", "heartbeat")
+        for detector in params.detectors
         for scenario in _SCENARIOS
     ]
 

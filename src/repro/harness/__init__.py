@@ -16,14 +16,16 @@ from cache.
 """
 
 from .artifacts import artifact_name, artifact_payload, write_artifact
-from .cache import ResultCache, cache_key
+from .cache import CacheStats, PruneReport, ResultCache, cache_key
 from .registry import all_specs, get_spec
 from .runner import CellOutcome, GridResult, run_cells, run_grid
-from .spec import ScenarioSpec, cell_seed
+from .spec import ScenarioSpec, cell_seed, with_detectors, with_overrides
 
 __all__ = [
+    "CacheStats",
     "CellOutcome",
     "GridResult",
+    "PruneReport",
     "ResultCache",
     "ScenarioSpec",
     "all_specs",
@@ -34,5 +36,7 @@ __all__ = [
     "get_spec",
     "run_cells",
     "run_grid",
+    "with_detectors",
+    "with_overrides",
     "write_artifact",
 ]

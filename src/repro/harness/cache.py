@@ -11,6 +11,11 @@ to invalidate old results).
 Entries are one JSON file per key, sharded by the key's first two hex
 digits, written atomically (temp file + ``os.replace``) so concurrent
 grid runs can share a cache directory.
+
+Eviction: paper-scale grids grow a shared cache without bound, so
+:meth:`ResultCache.prune` applies age and total-size caps (oldest entries
+first, by mtime — a ``get`` hit refreshes an entry's mtime so hot cells
+survive size pressure).  ``repro cache prune`` is the CLI entry point.
 """
 
 from __future__ import annotations
@@ -19,12 +24,15 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
+from ..errors import ConfigurationError
 from .spec import canonical_json, cell_seed, params_to_dict
 
-__all__ = ["CACHE_SCHEMA", "ResultCache", "cache_key"]
+__all__ = ["CACHE_SCHEMA", "CacheStats", "PruneReport", "ResultCache", "cache_key"]
 
 #: bump to invalidate every cached cell (e.g. after simulator changes that
 #: alter results for identical parameters).
@@ -42,6 +50,24 @@ def cache_key(exp_id: str, params: Any, coords: Mapping[str, Any], seed: int) ->
         }
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Size of a cache directory."""
+
+    entries: int
+    total_bytes: int
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """What one :meth:`ResultCache.prune` pass removed."""
+
+    removed: int
+    freed_bytes: int
+    kept: int
+    kept_bytes: int
 
 
 class ResultCache:
@@ -71,7 +97,16 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(path)
         return value
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh mtime so LRU-by-mtime pruning keeps hot entries."""
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` (must be JSON-serialisable) atomically."""
@@ -89,3 +124,92 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    # -- eviction -----------------------------------------------------------
+    def _entries(self) -> Iterator[tuple[Path, os.stat_result]]:
+        """Every entry file with its stat (missing files skipped: racing
+        prunes/writes are expected on shared caches)."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                try:
+                    yield path, path.stat()
+                except OSError:
+                    continue
+
+    def stats(self) -> CacheStats:
+        """Entry count and total size of the cache directory."""
+        entries = 0
+        total = 0
+        for _path, stat in self._entries():
+            entries += 1
+            total += stat.st_size
+        return CacheStats(entries=entries, total_bytes=total)
+
+    def prune(
+        self,
+        *,
+        max_age_seconds: float | None = None,
+        max_total_bytes: int | None = None,
+        now: float | None = None,
+    ) -> PruneReport:
+        """Evict entries by age, then oldest-first down to the size cap.
+
+        ``max_age_seconds`` drops every entry older than the horizon
+        (by mtime; reads refresh mtime).  ``max_total_bytes`` then drops
+        the oldest survivors until the cache fits.  Either cap may be
+        ``None`` (unlimited); passing neither is a configuration error —
+        it would silently prune nothing.
+        """
+        if max_age_seconds is None and max_total_bytes is None:
+            raise ConfigurationError("prune needs max_age_seconds and/or max_total_bytes")
+        if max_age_seconds is not None and max_age_seconds < 0:
+            raise ConfigurationError(f"max_age_seconds must be >= 0, got {max_age_seconds}")
+        if max_total_bytes is not None and max_total_bytes < 0:
+            raise ConfigurationError(f"max_total_bytes must be >= 0, got {max_total_bytes}")
+        horizon = None
+        if max_age_seconds is not None:
+            horizon = (now if now is not None else time.time()) - max_age_seconds
+        survivors: list[tuple[float, int, Path]] = []
+        removed = 0
+        freed = 0
+        for path, stat in self._entries():
+            if horizon is not None and stat.st_mtime < horizon:
+                removed += 1
+                freed += stat.st_size
+                self._remove(path)
+            else:
+                survivors.append((stat.st_mtime, stat.st_size, path))
+        kept_bytes = sum(size for _mtime, size, _path in survivors)
+        if max_total_bytes is not None and kept_bytes > max_total_bytes:
+            survivors.sort()  # oldest first
+            while survivors and kept_bytes > max_total_bytes:
+                _mtime, size, path = survivors.pop(0)
+                removed += 1
+                freed += size
+                kept_bytes -= size
+                self._remove(path)
+        self._drop_empty_shards()
+        return PruneReport(
+            removed=removed, freed_bytes=freed, kept=len(survivors), kept_bytes=kept_bytes
+        )
+
+    @staticmethod
+    def _remove(path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def _drop_empty_shards(self) -> None:
+        if not self.root.is_dir():
+            return
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass

@@ -3,27 +3,43 @@
 Examples::
 
     python -m repro list
+    python -m repro detectors
     python -m repro run t1 --workers 2 --out results/
     python -m repro run t1 e2 f3 --full --workers 8 --out results/ --markdown
+    python -m repro run t1 --detector heartbeat --detector phi
+    python -m repro run t1 -p sizes=[8] -p trials=1
+    python -m repro bench --events 200000 --out results/
+    python -m repro cache info --dir results/.cache
+    python -m repro cache prune --dir results/.cache --max-age-days 30 --max-size-mb 512
 
 ``run`` evaluates each named grid (all of them with no names given),
 prints its tables, and writes one ``BENCH_<ID>.json`` artifact per
-experiment under ``--out``.  Results are cached by content hash under
-``<out>/.cache`` (override with ``--cache-dir``, disable with
-``--no-cache``): re-running an unchanged grid is served entirely from
-cache and rewrites byte-identical artifacts.
+experiment under ``--out``.  ``--detector KEY`` (repeatable) sweeps the
+grid over any :mod:`repro.detectors` registry keys instead of the
+experiment's default detector set; ``-p field=value`` overrides any
+params field (value parsed as JSON, bare strings allowed).  Results are
+cached by content hash under ``<out>/.cache`` (override with
+``--cache-dir``, disable with ``--no-cache``): re-running an unchanged
+grid is served entirely from cache and rewrites byte-identical artifacts.
+
+``bench`` runs the engine microbenchmarks into the same artifact format
+(``BENCH_MICRO.json``); ``cache prune`` applies age/size caps to a result
+cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from ..errors import ConfigurationError
 from .artifacts import write_artifact
 from .cache import ResultCache
 from .registry import all_specs
 from .runner import run_grid
+from .spec import with_detectors, with_overrides
 
 __all__ = ["main"]
 
@@ -46,12 +62,60 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", default="results", help="artifact directory")
     run.add_argument("--full", action="store_true", help="paper-scale parameters")
     run.add_argument("--seed", type=int, default=None, help="override the base seed")
+    run.add_argument(
+        "--detector",
+        action="append",
+        default=None,
+        metavar="KEY",
+        help="sweep these registry detector(s) instead of the experiment's default "
+        "(repeatable; see `repro detectors`)",
+    )
+    run.add_argument(
+        "-p",
+        "--param",
+        action="append",
+        default=None,
+        metavar="FIELD=VALUE",
+        help="override a params field (VALUE parsed as JSON; repeatable)",
+    )
     run.add_argument("--no-cache", action="store_true", help="always recompute")
     run.add_argument("--cache-dir", default=None, help="cache directory (default: OUT/.cache)")
     run.add_argument("--markdown", action="store_true", help="markdown tables")
     run.add_argument("--quiet", action="store_true", help="no tables, just a summary line")
 
     commands.add_parser("list", help="list experiment grids")
+    commands.add_parser("detectors", help="list registered detector families")
+
+    bench = commands.add_parser(
+        "bench", help="run engine microbenchmarks into BENCH_MICRO.json"
+    )
+    bench.add_argument("--events", type=int, default=200_000, help="events per workload")
+    bench.add_argument(
+        "--only", default="", help="comma-separated workload names (default: all)"
+    )
+    bench.add_argument("--out", default="results", help="artifact directory")
+    bench.add_argument("--quiet", action="store_true", help="no table, just a summary line")
+
+    cache = commands.add_parser("cache", help="inspect / prune the result cache")
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("info", "entry count and total size"),
+        ("prune", "evict entries by age and/or total size"),
+    ):
+        sub = cache_commands.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--dir", default="results/.cache", help="cache directory (default: results/.cache)"
+        )
+        if name == "prune":
+            sub.add_argument(
+                "--max-age-days", type=float, default=None, help="drop entries older than this"
+            )
+            sub.add_argument(
+                "--max-size-mb",
+                type=float,
+                default=None,
+                help="then drop oldest entries until the cache fits",
+            )
     return parser
 
 
@@ -60,6 +124,28 @@ def _cmd_list() -> int:
         params = spec.params_cls()
         print(f"{exp_id:<4} {len(spec.cells(params)):>3} cells  {spec.title}")
     return 0
+
+
+def _cmd_detectors() -> int:
+    from ..detectors import DetectorMode, all_detectors
+
+    for key, spec in all_detectors().items():
+        mode = "query" if spec.mode is DetectorMode.QUERY else "timed"
+        print(f"{key:<20} {spec.fd_class.value:<3} {mode:<6} {spec.summary}")
+    return 0
+
+
+def _parse_param_overrides(pairs: list[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        field, sep, raw = pair.partition("=")
+        if not sep or not field:
+            raise ConfigurationError(f"-p expects FIELD=VALUE, got {pair!r}")
+        try:
+            overrides[field] = json.loads(raw)
+        except json.JSONDecodeError:
+            overrides[field] = raw  # bare string, e.g. -p detector=phi
+    return overrides
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -73,12 +159,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not args.no_cache:
         cache_dir = args.cache_dir if args.cache_dir is not None else f"{args.out}/.cache"
         cache = ResultCache(cache_dir)
+    # Resolve every grid's params up front: a bad --detector/-p combination
+    # on the last experiment must fail in milliseconds, not after earlier
+    # grids already burned compute and wrote artifacts.
+    prepared: list[tuple[str, object]] = []
     for exp_id in wanted:
         spec = specs[exp_id]
         overrides = {} if args.seed is None else {"seed": args.seed}
         params = spec.make_params(full=args.full, **overrides)
+        try:
+            if args.param:
+                params = with_overrides(params, _parse_param_overrides(args.param))
+            if args.detector:
+                params = with_detectors(params, args.detector)
+        except ConfigurationError as exc:
+            print(f"{exp_id}: {exc}", file=sys.stderr)
+            return 2
+        prepared.append((exp_id, params))
+    for exp_id, params in prepared:
+        spec = specs[exp_id]
         started = time.perf_counter()
-        result = run_grid(spec, params, workers=args.workers, cache=cache)
+        try:
+            # Misconfiguration can also surface while the grid wires up its
+            # detectors (e.g. a family with a required param like partial's
+            # `d` swept onto an experiment that cannot supply it).
+            result = run_grid(spec, params, workers=args.workers, cache=cache)
+        except ConfigurationError as exc:
+            print(f"{exp_id}: {exc}", file=sys.stderr)
+            return 2
         elapsed = time.perf_counter() - started
         path = write_artifact(args.out, result)
         if not args.quiet:
@@ -92,10 +200,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .microbench import microbench_table, run_microbench, write_microbench_artifact
+
+    only = [w for w in args.only.split(",") if w]
+    started = time.perf_counter()
+    try:
+        payload = run_microbench(events=args.events, only=only)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    path = write_microbench_artifact(args.out, payload)
+    if not args.quiet:
+        print(microbench_table(payload).render())
+        print()
+    print(f"[micro: {len(payload['cells'])} workloads in {elapsed:.1f}s -> {path}]")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir)
+    if args.cache_command == "info":
+        stats = cache.stats()
+        print(f"{args.dir}: {stats.entries} entries, {stats.total_bytes / 1e6:.1f} MB")
+        return 0
+    try:
+        report = cache.prune(
+            max_age_seconds=(
+                None if args.max_age_days is None else args.max_age_days * 86_400.0
+            ),
+            max_total_bytes=(
+                None if args.max_size_mb is None else int(args.max_size_mb * 1_000_000)
+            ),
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"pruned {report.removed} entries ({report.freed_bytes / 1e6:.1f} MB); "
+        f"kept {report.kept} ({report.kept_bytes / 1e6:.1f} MB)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "detectors":
+        return _cmd_detectors()
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return _cmd_run(args)
 
 

@@ -1,0 +1,207 @@
+"""Engine microbenchmarks, foldable into the canonical artifact format.
+
+The scheduler hot-path workloads (previously only runnable via
+``benchmarks/engine_microbench.py``, which now wraps this module) measured
+and reported like any experiment grid: ``repro bench`` evaluates the
+workloads and writes a ``BENCH_MICRO.json`` artifact shaped like the
+experiment artifacts (schema/params/cells/tables), so CI can archive and
+diff engine throughput the same way it archives experiment results.
+Unlike experiment artifacts, timings are inherently machine-dependent —
+the artifact is for tracking, not byte-identity.
+
+Workloads:
+
+* ``chain``   — one event schedules the next (timer-wheel pattern;
+  pure push/pop throughput at a tiny heap).
+* ``fanout``  — pre-schedule N events, drain them (large-heap pops).
+* ``churn``   — schedule two, cancel one, repeat (the heartbeat re-arm
+  pattern; exercises lazy deletion and compaction).
+* ``batch``   — schedule N events in batches of 100 (broadcast /
+  cluster-start pattern; uses ``schedule_batch``).
+* ``cluster`` — end-to-end ``SimCluster`` heartbeat run (n=40).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from ..errors import ConfigurationError
+from ..experiments.report import Table
+from ..sim.engine import Scheduler
+from .artifacts import ARTIFACT_SCHEMA, artifact_name
+
+__all__ = [
+    "MICROBENCH_ID",
+    "WORKLOADS",
+    "run_microbench",
+    "microbench_table",
+    "write_microbench_artifact",
+]
+
+MICROBENCH_ID = "micro"
+
+#: artifact schema for microbenchmarks (timings, not deterministic values)
+MICROBENCH_SCHEMA = ARTIFACT_SCHEMA + "+microbench"
+
+
+def _timed(fn: Callable[[], None]) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def _noop() -> None:
+    return None
+
+
+def bench_chain(n: int) -> float:
+    scheduler = Scheduler()
+    remaining = [n]
+
+    def tick() -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            scheduler.schedule_after(0.001, tick)
+
+    scheduler.schedule_at(0.0, tick)
+    return _timed(scheduler.run)
+
+
+def bench_fanout(n: int) -> float:
+    scheduler = Scheduler()
+    for i in range(n):
+        scheduler.schedule_at(i * 0.001, _noop)
+    return _timed(scheduler.run)
+
+
+def bench_churn(n: int) -> float:
+    scheduler = Scheduler()
+    remaining = [n]
+
+    def rearm() -> None:
+        if remaining[0] <= 0:
+            return
+        remaining[0] -= 1
+        doomed = scheduler.schedule_after(10.0, _noop)
+        scheduler.schedule_after(0.001, rearm)
+        doomed.cancel()
+
+    scheduler.schedule_at(0.0, rearm)
+    return _timed(scheduler.run)
+
+
+def bench_batch(n: int) -> float:
+    scheduler = Scheduler()
+    batch_size = 100
+
+    def fill() -> None:
+        base = scheduler.now
+        scheduler.schedule_batch(
+            [(base + i * 0.001, _noop, ()) for i in range(batch_size)]
+        )
+
+    for round_index in range(n // batch_size):
+        scheduler.schedule_at(round_index * 1.0, fill)
+    return _timed(scheduler.run)
+
+
+def bench_cluster(n: int) -> float:
+    from ..sim.cluster import SimCluster, heartbeat_driver_factory
+
+    horizon = max(5.0, n / 10_000)
+    cluster = SimCluster(
+        n=40,
+        driver_factory=heartbeat_driver_factory(period=0.5, timeout=1.5),
+        seed=7,
+        start_stagger=0.5,
+    )
+    elapsed = _timed(lambda: cluster.run(until=horizon))
+    # Normalise to events for the kev/s report.
+    bench_cluster.events = cluster.scheduler.events_processed  # type: ignore[attr-defined]
+    return elapsed
+
+
+WORKLOADS: dict[str, Callable[[int], float]] = {
+    "chain": bench_chain,
+    "fanout": bench_fanout,
+    "churn": bench_churn,
+    "batch": bench_batch,
+    "cluster": bench_cluster,
+}
+
+
+def run_microbench(
+    events: int = 200_000, only: Iterable[str] = ()
+) -> dict[str, Any]:
+    """Run the workloads; returns the ``BENCH_MICRO.json`` payload."""
+    wanted = list(only) or list(WORKLOADS)
+    unknown = sorted(set(wanted) - set(WORKLOADS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown workload(s) {unknown}; choose from {sorted(WORKLOADS)}"
+        )
+    cells = []
+    for name in wanted:
+        fn = WORKLOADS[name]
+        elapsed = fn(events)
+        processed = getattr(fn, "events", events)
+        cells.append(
+            {
+                "coords": {"workload": name},
+                "value": {
+                    "events": processed,
+                    "seconds": round(elapsed, 6),
+                    "kev_per_s": round(processed / elapsed / 1000, 1),
+                },
+            }
+        )
+    payload = {
+        "schema": MICROBENCH_SCHEMA,
+        "experiment": MICROBENCH_ID,
+        "title": "sim.engine scheduler hot-path microbenchmarks",
+        "params": {"events": events, "workloads": wanted},
+        "cells": cells,
+    }
+    table = microbench_table(payload)
+    payload["tables"] = [
+        {
+            "title": table.title,
+            "headers": list(table.headers),
+            "rows": [list(row) for row in table.rows],
+            "notes": list(table.notes),
+        }
+    ]
+    return payload
+
+
+def microbench_table(payload: dict[str, Any]) -> Table:
+    """Render a microbench payload as a report table."""
+    table = Table(
+        title=payload["title"],
+        headers=["workload", "events", "seconds", "kev/s"],
+        precision=3,
+    )
+    for cell in payload["cells"]:
+        value = cell["value"]
+        table.add_row(
+            cell["coords"]["workload"],
+            value["events"],
+            value["seconds"],
+            value["kev_per_s"],
+        )
+    table.add_note("timings are machine-dependent; artifact is for tracking, not identity")
+    return table
+
+
+def write_microbench_artifact(out_dir: str | Path, payload: dict[str, Any]) -> Path:
+    """Write ``BENCH_MICRO.json`` in the canonical artifact rendering."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / artifact_name(MICROBENCH_ID)
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path

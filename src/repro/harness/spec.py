@@ -29,7 +29,14 @@ from typing import Any, Callable, Mapping, Sequence
 
 from ..errors import ConfigurationError
 
-__all__ = ["ScenarioSpec", "cell_seed", "canonical_json", "params_to_dict"]
+__all__ = [
+    "ScenarioSpec",
+    "cell_seed",
+    "canonical_json",
+    "params_to_dict",
+    "with_detectors",
+    "with_overrides",
+]
 
 
 def canonical_json(value: Any) -> str:
@@ -57,6 +64,65 @@ def cell_seed(exp_id: str, coords: Mapping[str, Any], base_seed: int) -> int:
     payload = canonical_json({"exp": exp_id, "coords": dict(coords), "seed": base_seed})
     digest = hashlib.sha256(payload.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def with_detectors(params: Any, detectors: Sequence[str]) -> Any:
+    """Override an experiment's detector axis, whatever shape it takes.
+
+    Every experiment params dataclass carries either ``detectors`` (a tuple
+    of registry keys it compares) or ``detector`` (a single key), so the
+    CLI's ``--detector`` flag needs no per-experiment code.  Keys are
+    validated against the :mod:`repro.detectors` registry up front.
+    """
+    from ..detectors import get_detector
+
+    for key in detectors:
+        get_detector(key)  # raises ConfigurationError on unknown keys
+    names = {f.name for f in dataclasses.fields(params)}
+    if "detectors" in names:
+        return dataclasses.replace(params, detectors=tuple(detectors))
+    if "detector" in names:
+        if len(detectors) != 1:
+            raise ConfigurationError(
+                f"{type(params).__name__} deploys a single detector; "
+                f"got {len(detectors)}: {list(detectors)}"
+            )
+        return dataclasses.replace(params, detector=detectors[0])
+    raise ConfigurationError(f"{type(params).__name__} has no detector axis")
+
+
+def with_overrides(params: Any, overrides: Mapping[str, Any]) -> Any:
+    """Apply ``field=value`` overrides, coercing lists to tuples.
+
+    Backs the CLI's ``-p/--param`` flag: values arrive JSON-decoded, but
+    params dataclasses use tuples for sequence fields (hashability / cache
+    canonicalisation), so lists are converted recursively.
+    """
+    names = {f.name for f in dataclasses.fields(params)}
+    unknown = sorted(set(overrides) - names)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown parameter(s) {unknown} for {type(params).__name__}; "
+            f"valid: {sorted(names)}"
+        )
+    coerced = {}
+    for name, value in overrides.items():
+        value = _tuplify(value)
+        current = getattr(params, name)
+        # Catch the classic ``-p detectors=phi`` slip: a bare string landing
+        # on a sequence field would otherwise be iterated character-wise.
+        if isinstance(current, tuple) and not isinstance(value, tuple):
+            raise ConfigurationError(
+                f"{name} expects a list, e.g. -p '{name}=[...]'; got {value!r}"
+            )
+        coerced[name] = value
+    return dataclasses.replace(params, **coerced)
+
+
+def _tuplify(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
 
 
 @dataclass(frozen=True)

@@ -7,11 +7,19 @@ The quickstart surface of the library::
     cluster.crash(3)
     await cluster.until_suspected(observer=1, target=3)
     await cluster.stop()
+
+Any registered detector family deploys the same way::
+
+    cluster = LocalCluster(
+        n=5, f=2, detector="heartbeat",
+        detector_params={"period": 0.05, "timeout": 0.2},
+    )
 """
 
 from __future__ import annotations
 
 import asyncio
+from typing import Any, Mapping
 
 from ..core.protocol import DetectorConfig
 from ..errors import ConfigurationError
@@ -24,13 +32,20 @@ __all__ = ["LocalCluster"]
 
 
 class LocalCluster:
-    """``n`` detector services over an in-process :class:`MemoryHub`."""
+    """``n`` detector services over an in-process :class:`MemoryHub`.
+
+    ``detector`` is a :mod:`repro.detectors` registry key (default: the
+    paper's ``time-free``); ``detector_params`` are the family's typed
+    knobs, in real seconds.
+    """
 
     def __init__(
         self,
         n: int,
         f: int,
         *,
+        detector: str = "time-free",
+        detector_params: Mapping[str, Any] | None = None,
         latency: LatencyModel | None = None,
         loss_rate: float = 0.0,
         pacing: ServicePacing | None = None,
@@ -40,13 +55,34 @@ class LocalCluster:
             raise ConfigurationError("a cluster needs at least 2 processes")
         self.membership = frozenset(make_membership(n))
         self.f = f
+        self.detector_kind = detector
+        from ..detectors import PACING_PARAMS, get_detector
+
         self.hub = MemoryHub(latency=latency, loss_rate=loss_rate, seed=seed)
-        pacing = pacing if pacing is not None else ServicePacing(grace=0.02)
+        params = dict(detector_params) if detector_params is not None else {}
+        # Pacing resolution: an explicit `pacing` wins (from_registry raises
+        # if detector_params also carries pacing knobs).  Otherwise pacing
+        # knobs in detector_params are merged over LocalCluster's classic
+        # real-time default (20 ms grace) — setting one knob must not reset
+        # the others to the registry's simulated-seconds defaults.
+        if pacing is None:
+            knobs = {
+                name: params.pop(name)
+                for name in PACING_PARAMS
+                if name in params and name in get_detector(detector).param_names()
+            }
+            pacing = ServicePacing(
+                grace=knobs.get("grace", 0.02),
+                idle=knobs.get("idle", 0.0),
+                retry=knobs.get("retry", None),
+            )
         self.services: dict[ProcessId, DetectorService] = {}
         for pid in sorted(self.membership):
             config = DetectorConfig(process_id=pid, membership=self.membership, f=f)
             transport = self.hub.create_transport(pid)
-            self.services[pid] = DetectorService(config, transport, pacing=pacing)
+            self.services[pid] = DetectorService.from_registry(
+                detector, config, transport, pacing=pacing, **params
+            )
 
     # ------------------------------------------------------------------
     async def start(self) -> None:

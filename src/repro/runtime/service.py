@@ -1,11 +1,23 @@
-"""The detector as an asyncio service.
+"""Failure detectors as asyncio services — generic over any registered core.
 
-``DetectorService`` owns a :class:`~repro.core.protocol.TimeFreeDetector`
-and a :class:`~repro.runtime.transport.Transport` and runs task T1's loop
-as an asyncio task.  **No step of failure detection awaits a timeout**: the
-loop awaits the response quorum *event*, then (optionally) sleeps a pacing
-grace to harvest extra responses — pacing affects traffic and false-positive
-pressure, never correctness.
+``DetectorService`` owns a sans-I/O detector core and a
+:class:`~repro.runtime.transport.Transport` and drives the core as an
+asyncio task.  Two drive strategies, picked by the core's protocol shape:
+
+* **query cores** (:class:`~repro.core.protocol.TimeFreeDetector` — the
+  default — or the partial extension) run task T1's loop.  **No step of
+  failure detection awaits a timeout**: the loop awaits the response
+  quorum *event*, then (optionally) sleeps a pacing grace to harvest
+  extra responses — pacing affects traffic and false-positive pressure,
+  never correctness.
+* **timed cores** (any :class:`~repro.detectors.facade.DetectorCore`, e.g.
+  the heartbeat/gossip/phi baselines) run an event-loop-clocked wake-up
+  loop: sleep until ``next_wakeup()`` or an incoming message, feed the
+  core, execute its effects.
+
+:meth:`DetectorService.from_registry` builds either kind from a
+:mod:`repro.detectors` registry key, so heartbeat/gossip/phi run over the
+real memory/UDP transports exactly like the time-free detector does.
 
 The suspect list is exposed synchronously (``suspects()``), as a change
 stream (``watch()``), and as awaitable predicates
@@ -17,7 +29,9 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
+from typing import Any
 
+from ..core.effects import Broadcast, SendTo
 from ..core.messages import Query, Response
 from ..core.protocol import DetectorConfig, QueryRoundOutcome, TimeFreeDetector
 from ..errors import ConfigurationError
@@ -50,7 +64,12 @@ class ServicePacing:
 
 
 class DetectorService:
-    """Runs the time-free failure detector over a transport."""
+    """Runs any registered failure-detector core over a transport.
+
+    By default the core is the paper's :class:`TimeFreeDetector`; pass
+    ``core=`` (any query or timed core built for ``config``'s identity and
+    membership) or use :meth:`from_registry` to deploy another family.
+    """
 
     def __init__(
         self,
@@ -58,6 +77,7 @@ class DetectorService:
         transport: Transport,
         *,
         pacing: ServicePacing = ServicePacing(),
+        core: Any | None = None,
     ) -> None:
         if transport.process_id != config.process_id:
             raise ConfigurationError(
@@ -65,16 +85,85 @@ class DetectorService:
                 f"detector identity {config.process_id!r}"
             )
         self.config = config
-        self.detector = TimeFreeDetector(config)
+        self.detector = core if core is not None else TimeFreeDetector(config)
+        if getattr(self.detector, "process_id", config.process_id) != config.process_id:
+            raise ConfigurationError(
+                f"core identity {self.detector.process_id!r} does not match "
+                f"service identity {config.process_id!r}"
+            )
+        #: query cores speak start_round/on_query/on_response; anything else
+        #: must speak the unified timed facade (start/on_wakeup/next_wakeup).
+        self._query_mode = hasattr(self.detector, "start_round")
+        if not self._query_mode and not hasattr(self.detector, "next_wakeup"):
+            raise ConfigurationError(
+                f"{type(self.detector).__name__} is neither a query core nor a "
+                "timed core; see repro.detectors.facade.DetectorCore"
+            )
         self.transport = transport
         self.pacing = pacing
+        self._peers = sorted(config.membership - {config.process_id}, key=repr)
         self._quorum_event = asyncio.Event()
+        self._wake = asyncio.Event()
+        self._elector = None
         self._task: asyncio.Task | None = None
         self._watchers: list[asyncio.Queue] = []
         self._send_tasks: set[asyncio.Task] = set()
         self.rounds_completed = 0
         self.retries_sent = 0
         transport.set_handler(self._on_message)
+
+    @classmethod
+    def from_registry(
+        cls,
+        detector: str,
+        config: DetectorConfig,
+        transport: Transport,
+        *,
+        pacing: ServicePacing | None = None,
+        **params: Any,
+    ) -> "DetectorService":
+        """Build a service for any :mod:`repro.detectors` registry key.
+
+        ``params`` are the family's typed knobs (e.g. ``period=0.05,
+        timeout=0.2`` for ``heartbeat``), interpreted in *real seconds*
+        here, not simulated ones.  For query families the pacing knobs
+        (``grace``/``idle``/``retry``) become the service's
+        :class:`ServicePacing`; passing both those knobs and an explicit
+        ``pacing`` is a configuration error (one would silently win).
+        """
+        from ..detectors import (
+            PACING_PARAMS,
+            DetectorContext,
+            DetectorMode,
+            get_detector,
+            pacing_fields,
+        )
+
+        spec = get_detector(detector)
+        if (
+            pacing is not None
+            and spec.mode is DetectorMode.QUERY
+            and any(name in params for name in PACING_PARAMS)
+        ):
+            raise ConfigurationError(
+                f"pass either pacing= or the {list(PACING_PARAMS)} params "
+                f"for detector {detector!r}, not both"
+            )
+        resolved = spec.make_params(**params)
+        spec.check_required(resolved)
+        context = DetectorContext(
+            process_id=config.process_id, membership=config.membership, f=config.f
+        )
+        built = spec.build(context, resolved)
+        if spec.mode is DetectorMode.QUERY:
+            if pacing is None:
+                pacing = ServicePacing(**pacing_fields(resolved))
+            service = cls(config, transport, pacing=pacing, core=built.core)
+            service._elector = built.elector
+            return service
+        return cls(
+            config, transport, pacing=pacing or ServicePacing(), core=built.core
+        )
 
     # -- observation ---------------------------------------------------------
     @property
@@ -140,9 +229,16 @@ class DetectorService:
             task.cancel()
         await self.transport.close()
 
-    # -- the T1 loop --------------------------------------------------------------
+    # -- drive loops --------------------------------------------------------------
     async def _run(self) -> None:
-        peers = sorted(self.config.membership - {self.process_id}, key=repr)
+        if self._query_mode:
+            await self._run_query()
+        else:
+            await self._run_timed()
+
+    async def _run_query(self) -> None:
+        """Task T1's loop: quorum is an awaited *event*, never a timeout."""
+        peers = self._peers
         while True:
             before = self.detector.suspects()
             self._quorum_event.clear()
@@ -181,9 +277,50 @@ class DetectorService:
 
     def _after_round(self, outcome: QueryRoundOutcome) -> None:
         """Extension point for subclasses (e.g. leader election)."""
+        if self._elector is not None:
+            self._elector.observe_round(outcome)
+
+    async def _run_timed(self) -> None:
+        """Drive a unified/timed core: honour ``next_wakeup`` deadlines.
+
+        The timers here belong to the *core's own algorithm* (heartbeat
+        emission, timeout expiry, query-round pacing when a query core is
+        wrapped in the unified facade) — the service adds none of its own.
+        Messages are handled synchronously by ``_on_message``; it pokes
+        ``_wake`` so the loop re-reads the (possibly moved) next deadline.
+        """
+        loop = asyncio.get_running_loop()
+        before = self.detector.suspects()
+        self._execute(self.detector.start(loop.time()))
+        self._notify_if_changed(before)
+        while True:
+            deadline = self.detector.next_wakeup()
+            if deadline is None:
+                await self._wake.wait()
+                self._wake.clear()
+                continue
+            delay = deadline - loop.time()
+            if delay > 0:
+                try:
+                    async with asyncio.timeout(delay):
+                        await self._wake.wait()
+                    self._wake.clear()
+                    continue  # a message moved the deadlines; recompute
+                except TimeoutError:
+                    pass
+            before = self.detector.suspects()
+            self._execute(self.detector.on_wakeup(loop.time()))
+            self._notify_if_changed(before)
 
     # -- message handling -------------------------------------------------------
     def _on_message(self, src: ProcessId, message: object) -> None:
+        if not self._query_mode:
+            now = asyncio.get_running_loop().time()
+            before = self.detector.suspects()
+            self._execute(self.detector.on_message(now, src, message))
+            self._notify_if_changed(before)
+            self._wake.set()
+            return
         before = self.detector.suspects()
         if isinstance(message, Query):
             effect = self.detector.on_query(message)
@@ -194,6 +331,27 @@ class DetectorService:
             if self.detector.quorum_reached():
                 self._quorum_event.set()
         self._notify_if_changed(before)
+
+    def _execute(self, effects) -> None:
+        """Put core effects on the wire (fire-and-forget send tasks)."""
+        if effects is None:
+            return
+        if not isinstance(effects, list):
+            effects = [effects]
+        for effect in effects:
+            if isinstance(effect, Broadcast):
+                self._broadcast_soon(effect.message)
+            elif isinstance(effect, SendTo):
+                self._send_soon(effect.destination, effect.message)
+            else:
+                raise ConfigurationError(f"unknown effect {effect!r}")
+
+    def _broadcast_soon(self, message: object) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self.transport.broadcast(self._peers, message)
+        )
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
 
     def _send_soon(self, dst: ProcessId, message: object) -> None:
         task = asyncio.get_running_loop().create_task(self.transport.send(dst, message))

@@ -21,6 +21,13 @@ class TestCliList:
         for exp_id in ("t1", "t2", "f2", "e2", "a2"):
             assert exp_id in out
 
+    def test_detectors_lists_every_registered_family(self, capsys):
+        assert main(["detectors"]) == 0
+        out = capsys.readouterr().out
+        for key in ("time-free", "partial", "heartbeat", "gossip", "phi"):
+            assert key in out
+        assert "◇S" in out and "◇P" in out
+
 
 class TestCliRun:
     def test_unknown_experiment_fails(self, tmp_path, capsys):
@@ -51,6 +58,127 @@ class TestCliRun:
         first = (out / "BENCH_T2.json").read_bytes()
         assert main(["run", "t2", "--out", str(out), "--quiet", "--seed", "2"]) == 0
         assert (out / "BENCH_T2.json").read_bytes() != first
+
+
+# Small t1 cell so each detector-sweep invocation stays fast.
+T1_SMALL = ["-p", "sizes=[6]", "-p", "trials=1", "-p", "horizon=15.0", "-p", "crash_at=4.0"]
+
+
+class TestDetectorSweep:
+    """`repro run EXP --detector KEY...` — no per-experiment code involved."""
+
+    @pytest.mark.parametrize("detector", ["heartbeat", "phi"])
+    def test_t1_sweeps_any_registered_detector(self, detector, tmp_path):
+        out = tmp_path / "results"
+        argv = ["run", "t1", "--detector", detector, *T1_SMALL, "--out", str(out), "--quiet"]
+        assert main(argv) == 0
+        payload = json.loads((out / "BENCH_T1.json").read_text())
+        assert payload["params"]["detectors"] == [detector]
+        assert [cell["coords"]["detector"] for cell in payload["cells"]] == [detector]
+        assert f"{detector} mean (s)" in payload["tables"][0]["headers"]
+        # The crash was actually detected: a finite latency in every row.
+        for row in payload["tables"][0]["rows"]:
+            assert row[2] is not None and 0.0 < row[2] < 15.0
+
+    def test_multiple_detectors_in_one_grid(self, tmp_path):
+        out = tmp_path / "results"
+        argv = [
+            "run", "t1", "--detector", "heartbeat", "--detector", "heartbeat-adaptive",
+            *T1_SMALL, "--out", str(out), "--quiet",
+        ]
+        assert main(argv) == 0
+        payload = json.loads((out / "BENCH_T1.json").read_text())
+        assert payload["params"]["detectors"] == ["heartbeat", "heartbeat-adaptive"]
+        assert len(payload["cells"]) == 2
+
+    def test_single_detector_experiments_accept_an_override(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        argv = ["run", "t2", "--detector", "heartbeat", "-p", "n=6",
+                "-p", "f_values=[1]", "-p", "horizon=10.0", "-p", "crash_at=3.0",
+                "--out", str(out), "--quiet"]
+        assert main(argv) == 0
+        payload = json.loads((out / "BENCH_T2.json").read_text())
+        assert payload["params"]["detector"] == "heartbeat"
+
+    def test_unknown_detector_fails_cleanly(self, tmp_path, capsys):
+        argv = ["run", "t1", "--detector", "nope", "--out", str(tmp_path), "--quiet"]
+        assert main(argv) == 2
+        assert "unknown detector" in capsys.readouterr().err
+
+    def test_detector_missing_required_param_fails_cleanly(self, tmp_path, capsys):
+        # `partial` is registered (passes key validation) but needs `d`,
+        # which t1 cannot supply — must exit 2, not traceback.
+        argv = ["run", "t1", "--detector", "partial", "--out", str(tmp_path), "--quiet"]
+        assert main(argv) == 2
+        assert "needs the parameter" in capsys.readouterr().err
+
+    def test_bare_string_on_sequence_field_fails_cleanly(self, tmp_path, capsys):
+        argv = ["run", "t1", "-p", "detectors=phi", "--out", str(tmp_path), "--quiet"]
+        assert main(argv) == 2
+        assert "expects a list" in capsys.readouterr().err
+
+    def test_multiple_detectors_rejected_on_single_axis(self, tmp_path, capsys):
+        argv = [
+            "run", "t2", "--detector", "heartbeat", "--detector", "phi",
+            "--out", str(tmp_path), "--quiet",
+        ]
+        assert main(argv) == 2
+        assert "single detector" in capsys.readouterr().err
+
+    def test_override_validation_precedes_any_grid_run(self, tmp_path, capsys):
+        """A bad override on a later grid must fail before the first runs."""
+        out = tmp_path / "results"
+        argv = [
+            "run", "t1", "t2", "--detector", "heartbeat", "--detector", "phi",
+            "--out", str(out), "--quiet",
+        ]
+        assert main(argv) == 2  # t2 has a single-detector axis
+        assert "single detector" in capsys.readouterr().err
+        assert not (out / "BENCH_T1.json").exists()
+
+    def test_unknown_param_fails_cleanly(self, tmp_path, capsys):
+        argv = ["run", "t1", "-p", "bogus=1", "--out", str(tmp_path), "--quiet"]
+        assert main(argv) == 2
+        assert "unknown parameter" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_bench_writes_micro_artifact(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        assert main(["bench", "--events", "2000", "--only", "chain,batch",
+                     "--out", str(out)]) == 0
+        payload = json.loads((out / "BENCH_MICRO.json").read_text())
+        assert payload["experiment"] == "micro"
+        assert payload["schema"].startswith("repro-bench/1")
+        workloads = [cell["coords"]["workload"] for cell in payload["cells"]]
+        assert workloads == ["chain", "batch"]
+        for cell in payload["cells"]:
+            assert cell["value"]["seconds"] > 0
+            assert cell["value"]["kev_per_s"] > 0
+        assert payload["tables"][0]["headers"] == ["workload", "events", "seconds", "kev/s"]
+        assert "BENCH_MICRO.json" in capsys.readouterr().out
+
+    def test_unknown_workload_fails_cleanly(self, tmp_path, capsys):
+        assert main(["bench", "--only", "nope", "--out", str(tmp_path)]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_info_and_prune_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        assert main(["run", "t2", "-p", "n=6", "-p", "f_values=[1]",
+                     "-p", "horizon=10.0", "--out", str(out), "--quiet"]) == 0
+        cache_dir = str(out / ".cache")
+        assert main(["cache", "info", "--dir", cache_dir]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        assert main(["cache", "prune", "--dir", cache_dir, "--max-size-mb", "0"]) == 0
+        assert "pruned 1 entries" in capsys.readouterr().out
+        assert main(["cache", "info", "--dir", cache_dir]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_prune_without_caps_fails_cleanly(self, tmp_path, capsys):
+        assert main(["cache", "prune", "--dir", str(tmp_path)]) == 2
+        assert "prune needs" in capsys.readouterr().err
 
 
 class TestGridEquivalence:

@@ -1,0 +1,129 @@
+"""Unit tests for the result-cache eviction policy."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.cache import ResultCache
+
+
+def fill(cache: ResultCache, count: int, *, size_pad: int = 0) -> list[str]:
+    keys = []
+    for index in range(count):
+        key = f"{index:02x}" + "0" * 62
+        cache.put(key, {"cell": index, "pad": "x" * size_pad})
+        keys.append(key)
+    return keys
+
+
+def set_mtime(cache: ResultCache, key: str, mtime: float) -> None:
+    path = cache._path(key)
+    os.utime(path, (mtime, mtime))
+
+
+class TestStats:
+    def test_empty_cache(self, tmp_path):
+        stats = ResultCache(tmp_path / "cache").stats()
+        assert (stats.entries, stats.total_bytes) == (0, 0)
+
+    def test_counts_entries_and_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        keys = fill(cache, 3)
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.total_bytes == sum(
+            cache._path(key).stat().st_size for key in keys
+        )
+
+
+class TestPruneByAge:
+    def test_old_entries_dropped_fresh_kept(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        old, fresh = fill(cache, 2)
+        set_mtime(cache, old, 1_000.0)
+        set_mtime(cache, fresh, 9_000.0)
+        report = cache.prune(max_age_seconds=500.0, now=9_100.0)
+        assert (report.removed, report.kept) == (1, 1)
+        assert cache.get(old) is None
+        assert cache.get(fresh) == {"cell": 1, "pad": ""}
+
+    def test_read_refreshes_mtime(self, tmp_path):
+        """A get() keeps an entry alive under age pruning (LRU semantics)."""
+        cache = ResultCache(tmp_path / "cache")
+        (key,) = fill(cache, 1)
+        set_mtime(cache, key, 1_000.0)
+        assert cache.get(key) is not None  # refreshes mtime to ~now
+        report = cache.prune(max_age_seconds=3600.0, now=2_000.0)
+        assert report.removed == 0
+
+
+class TestPruneBySize:
+    def test_oldest_evicted_until_under_cap(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        keys = fill(cache, 4, size_pad=100)
+        for index, key in enumerate(keys):
+            set_mtime(cache, key, 1_000.0 + index)
+        entry_size = cache._path(keys[0]).stat().st_size
+        report = cache.prune(max_total_bytes=2 * entry_size)
+        assert report.removed == 2
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[2]) is not None
+        assert cache.get(keys[3]) is not None
+        assert cache.stats().total_bytes <= 2 * entry_size
+
+    def test_zero_cap_clears_everything(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fill(cache, 3)
+        report = cache.prune(max_total_bytes=0)
+        assert report.removed == 3
+        assert cache.stats().entries == 0
+        # empty shard directories are swept too
+        assert list((tmp_path / "cache").iterdir()) == []
+
+
+class TestPruneValidation:
+    def test_no_caps_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="prune needs"):
+            ResultCache(tmp_path / "cache").prune()
+
+    def test_negative_caps_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(ConfigurationError):
+            cache.prune(max_age_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            cache.prune(max_total_bytes=-1)
+
+    def test_prune_on_missing_directory_is_a_noop(self, tmp_path):
+        report = ResultCache(tmp_path / "never-created").prune(max_total_bytes=10)
+        assert (report.removed, report.kept) == (0, 0)
+
+    def test_foreign_files_survive(self, tmp_path):
+        """Prune only touches shard entry files, not stray artifacts."""
+        root = tmp_path / "cache"
+        cache = ResultCache(root)
+        fill(cache, 1)
+        stray = root / "README.txt"
+        stray.write_text("not an entry")
+        cache.prune(max_total_bytes=0)
+        assert stray.exists()
+
+
+class TestCombinedPolicy:
+    def test_age_then_size(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        keys = fill(cache, 4, size_pad=50)
+        # keys[0] ancient; the rest recent with distinct ages.
+        set_mtime(cache, keys[0], 100.0)
+        for index, key in enumerate(keys[1:], start=1):
+            set_mtime(cache, key, 9_000.0 + index)
+        entry_size = cache._path(keys[1]).stat().st_size
+        report = cache.prune(
+            max_age_seconds=5_000.0, max_total_bytes=2 * entry_size, now=10_000.0
+        )
+        # age drops keys[0]; size cap then drops the oldest survivor keys[1]
+        assert report.removed == 2
+        assert report.kept == 2
+        assert json.loads(cache._path(keys[3]).read_text())["value"]["cell"] == 3
