@@ -30,12 +30,16 @@ __all__ = [
     "encode_message",
     "decode_message",
     "message_kind",
+    "message_kind_of",
 ]
 
 TaggedRecords = tuple[tuple[ProcessId, int], ...]
 
 _REGISTRY: dict[str, type] = {}
 _KIND_BY_TYPE: dict[type, str] = {}
+#: cached class-name fallbacks for unregistered types (tests pass plain
+#: strings through the simulated network); registering a type evicts it.
+_KIND_FALLBACK: dict[type, str] = {}
 
 M = TypeVar("M")
 
@@ -54,6 +58,7 @@ def register_message(kind: str) -> Callable[[Type[M]], Type[M]]:
             raise ValueError(f"message kind {kind!r} is already registered")
         _REGISTRY[kind] = cls
         _KIND_BY_TYPE[cls] = kind
+        _KIND_FALLBACK.pop(cls, None)
         return cls
 
     return _register
@@ -65,6 +70,24 @@ def message_kind(message: object) -> str:
         return _KIND_BY_TYPE[type(message)]
     except KeyError:
         raise TransportError(f"{type(message).__name__} is not a registered message") from None
+
+
+def message_kind_of(message: object) -> str:
+    """Like :func:`message_kind` but with a cached class-name fallback.
+
+    The simulated network labels every message for trace accounting; this
+    lookup is on its per-message hot path, so unregistered types resolve to
+    their class name via a dictionary hit instead of a raised-and-caught
+    :class:`TransportError` per message.
+    """
+    cls = type(message)
+    kind = _KIND_BY_TYPE.get(cls)
+    if kind is not None:
+        return kind
+    kind = _KIND_FALLBACK.get(cls)
+    if kind is None:
+        kind = _KIND_FALLBACK[cls] = cls.__name__
+    return kind
 
 
 def encode_message(message: object) -> bytes:

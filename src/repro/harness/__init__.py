@@ -20,6 +20,12 @@ from .cache import CacheStats, PruneReport, ResultCache, cache_key
 from .registry import all_specs, get_spec
 from .runner import CellOutcome, GridResult, run_cells, run_grid
 from .spec import ScenarioSpec, cell_seed, with_detectors, with_overrides
+from .streaming import (
+    StreamedGridRun,
+    StreamStats,
+    run_grid_streaming,
+    stream_outcomes,
+)
 
 __all__ = [
     "CacheStats",
@@ -28,6 +34,8 @@ __all__ = [
     "PruneReport",
     "ResultCache",
     "ScenarioSpec",
+    "StreamStats",
+    "StreamedGridRun",
     "all_specs",
     "artifact_name",
     "artifact_payload",
@@ -36,6 +44,8 @@ __all__ = [
     "get_spec",
     "run_cells",
     "run_grid",
+    "run_grid_streaming",
+    "stream_outcomes",
     "with_detectors",
     "with_overrides",
     "write_artifact",

@@ -17,7 +17,14 @@ from typing import Any
 from .runner import GridResult
 from .spec import params_to_dict
 
-__all__ = ["ARTIFACT_SCHEMA", "artifact_name", "artifact_payload", "write_artifact"]
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "artifact_name",
+    "artifact_header",
+    "artifact_tables",
+    "artifact_payload",
+    "write_artifact",
+]
 
 ARTIFACT_SCHEMA = "repro-bench/1"
 
@@ -26,26 +33,42 @@ def artifact_name(exp_id: str) -> str:
     return f"BENCH_{exp_id.upper()}.json"
 
 
+def artifact_header(exp_id: str, title: str, params: Any) -> dict[str, Any]:
+    """The non-cell, non-table part of an artifact payload.
+
+    Shared with the streaming writer — both renderings must agree on the
+    payload shape or streamed artifacts stop being byte-identical.
+    """
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "experiment": exp_id,
+        "title": title,
+        "params": params_to_dict(params),
+    }
+
+
+def artifact_tables(tables: list[Any]) -> list[dict[str, Any]]:
+    """Report tables in their canonical artifact form (shared rendering)."""
+    return [
+        {
+            "title": table.title,
+            "headers": list(table.headers),
+            "rows": [list(row) for row in table.rows],
+            "notes": list(table.notes),
+        }
+        for table in tables
+    ]
+
+
 def artifact_payload(result: GridResult) -> dict[str, Any]:
     """The artifact as a plain dict (JSON-serialisable)."""
     return {
-        "schema": ARTIFACT_SCHEMA,
-        "experiment": result.spec.exp_id,
-        "title": result.spec.title,
-        "params": params_to_dict(result.params),
+        **artifact_header(result.spec.exp_id, result.spec.title, result.params),
         "cells": [
             {"coords": outcome.coords, "seed": outcome.seed, "value": outcome.value}
             for outcome in result.outcomes
         ],
-        "tables": [
-            {
-                "title": table.title,
-                "headers": list(table.headers),
-                "rows": [list(row) for row in table.rows],
-                "notes": list(table.notes),
-            }
-            for table in result.tables()
-        ],
+        "tables": artifact_tables(result.tables()),
     }
 
 

@@ -80,6 +80,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--no-cache", action="store_true", help="always recompute")
     run.add_argument("--cache-dir", default=None, help="cache directory (default: OUT/.cache)")
+    run.add_argument(
+        "--stream",
+        action="store_true",
+        help="bounded-memory evaluation: fold cells into the artifact as they "
+        "complete instead of holding the whole grid in memory",
+    )
+    run.add_argument(
+        "--max-resident",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --stream: cap on resident (not-yet-written) cell outcomes "
+        "(default: 512)",
+    )
     run.add_argument("--markdown", action="store_true", help="markdown tables")
     run.add_argument("--quiet", action="store_true", help="no tables, just a summary line")
 
@@ -95,6 +109,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--out", default="results", help="artifact directory")
     bench.add_argument("--quiet", action="store_true", help="no table, just a summary line")
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate: fail (exit 1) if any workload's kev/s drops "
+        "below its committed floor",
+    )
+    bench.add_argument(
+        "--floors",
+        default=None,
+        metavar="PATH",
+        help="floors file for --check (default: benchmarks/bench_floors.json)",
+    )
 
     cache = commands.add_parser("cache", help="inspect / prune the result cache")
     cache_commands = cache.add_subparsers(dest="cache_command", required=True)
@@ -176,6 +202,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"{exp_id}: {exc}", file=sys.stderr)
             return 2
         prepared.append((exp_id, params))
+    if args.max_resident is not None and not args.stream:
+        print("--max-resident requires --stream", file=sys.stderr)
+        return 2
     for exp_id, params in prepared:
         spec = specs[exp_id]
         started = time.perf_counter()
@@ -183,29 +212,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # Misconfiguration can also surface while the grid wires up its
             # detectors (e.g. a family with a required param like partial's
             # `d` swept onto an experiment that cannot supply it).
-            result = run_grid(spec, params, workers=args.workers, cache=cache)
+            if args.stream:
+                from .streaming import DEFAULT_WINDOW, run_grid_streaming
+
+                streamed = run_grid_streaming(
+                    spec,
+                    params,
+                    args.out,
+                    workers=args.workers,
+                    cache=cache,
+                    window=(
+                        args.max_resident
+                        if args.max_resident is not None
+                        else DEFAULT_WINDOW
+                    ),
+                )
+                tables, path = streamed.tables, streamed.path
+                cells_run, hits = streamed.stats.cells, streamed.stats.cache_hits
+                detail = f", peak resident {streamed.stats.peak_resident}"
+            else:
+                result = run_grid(spec, params, workers=args.workers, cache=cache)
+                tables, path = result.tables(), write_artifact(args.out, result)
+                cells_run, hits = len(result.outcomes), result.cache_hits
+                detail = ""
         except ConfigurationError as exc:
             print(f"{exp_id}: {exc}", file=sys.stderr)
             return 2
         elapsed = time.perf_counter() - started
-        path = write_artifact(args.out, result)
         if not args.quiet:
-            for table in result.tables():
+            for table in tables:
                 print(table.render_markdown() if args.markdown else table.render())
                 print()
         print(
-            f"[{exp_id}: {len(result.outcomes)} cells "
-            f"({result.cache_hits} cached) in {elapsed:.1f}s -> {path}]"
+            f"[{exp_id}: {cells_run} cells "
+            f"({hits} cached) in {elapsed:.1f}s{detail} -> {path}]"
         )
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .microbench import microbench_table, run_microbench, write_microbench_artifact
+    from .microbench import (
+        DEFAULT_FLOORS_PATH,
+        check_floors,
+        load_floors,
+        microbench_table,
+        run_microbench,
+        write_microbench_artifact,
+    )
 
     only = [w for w in args.only.split(",") if w]
     started = time.perf_counter()
     try:
+        floors = None
+        if args.check:
+            # Resolve floors before burning bench time on a bad path.
+            floors = load_floors(args.floors or DEFAULT_FLOORS_PATH)
+            if only:
+                floors = {name: floors[name] for name in only if name in floors}
         payload = run_microbench(events=args.events, only=only)
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
@@ -216,6 +279,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(microbench_table(payload).render())
         print()
     print(f"[micro: {len(payload['cells'])} workloads in {elapsed:.1f}s -> {path}]")
+    if floors is not None:
+        failures = check_floors(payload, floors)
+        if failures:
+            for line in failures:
+                print(f"bench check FAIL {line}", file=sys.stderr)
+            return 1
+        print(f"bench check OK: {len(floors)} workload floor(s) held")
     return 0
 
 

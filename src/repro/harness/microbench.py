@@ -19,6 +19,19 @@ Workloads:
 * ``batch``   — schedule N events in batches of 100 (broadcast /
   cluster-start pattern; uses ``schedule_batch``).
 * ``cluster`` — end-to-end ``SimCluster`` heartbeat run (n=40).
+* ``broadcast`` — network data plane: a 60-node full mesh where nodes
+  broadcast ``Query`` messages round-robin (neighbor resolution, loss
+  branch, latency sampling, per-message trace accounting).
+* ``trace-query`` — metrics read path: per-(observer, target) timeline
+  queries over a synthetic suspicion trace, the access pattern of
+  ``repro.metrics`` tabulation (events = queries executed).
+* ``cells``   — one end-to-end experiment cell: a time-free cluster with
+  a crash, run to horizon, then the full QoS tabulation (detection,
+  mistakes, message load) — the workload grid runs scale by.
+
+``repro bench --check`` compares a fresh run against the committed
+per-workload kev/s floors (``benchmarks/bench_floors.json``) and fails
+when any workload regresses below its floor — the CI regression gate.
 """
 
 from __future__ import annotations
@@ -36,12 +49,20 @@ from .artifacts import ARTIFACT_SCHEMA, artifact_name
 __all__ = [
     "MICROBENCH_ID",
     "WORKLOADS",
+    "DEFAULT_FLOORS_PATH",
     "run_microbench",
     "microbench_table",
     "write_microbench_artifact",
+    "load_floors",
+    "check_floors",
 ]
 
 MICROBENCH_ID = "micro"
+
+#: committed kev/s floors for the regression gate (repo-relative)
+DEFAULT_FLOORS_PATH = "benchmarks/bench_floors.json"
+
+FLOORS_SCHEMA = "repro-bench-floors/1"
 
 #: artifact schema for microbenchmarks (timings, not deterministic values)
 MICROBENCH_SCHEMA = ARTIFACT_SCHEMA + "+microbench"
@@ -124,12 +145,134 @@ def bench_cluster(n: int) -> float:
     return elapsed
 
 
+def bench_broadcast(n: int) -> float:
+    """Data-plane fan-out: Query broadcasts round-robin on a 60-node mesh."""
+    from ..core.messages import Query
+    from ..sim.latency import ExponentialLatency
+    from ..sim.network import SimNetwork
+    from ..sim.rng import RngStreams
+    from ..sim.topology import full_mesh
+
+    size = 60
+    scheduler = Scheduler()
+    network = SimNetwork(
+        scheduler,
+        full_mesh(range(1, size + 1)),
+        ExponentialLatency(0.001),
+        RngStreams(11),
+    )
+
+    def sink(src, message) -> None:
+        return None
+
+    for pid in range(1, size + 1):
+        network.register(pid, sink)
+    query = Query(sender=1, round_id=0, suspected=(), mistakes=())
+    remaining = [max(1, n // size)]
+
+    def step() -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            network.broadcast(1 + remaining[0] % size, query)
+            scheduler.schedule_after(0.01, step)
+
+    scheduler.schedule_at(0.0, step)
+    elapsed = _timed(scheduler.run)
+    bench_broadcast.events = scheduler.events_processed  # type: ignore[attr-defined]
+    return elapsed
+
+
+def bench_trace_query(n: int) -> float:
+    """Metrics read path: per-pair timeline queries over a synthetic trace.
+
+    Builds a time-ordered suspicion trace (40 observers, ``n / 1000``
+    changes each, ≥ 50) and then issues the exact query mix metrics
+    tabulation issues: ``first_suspicion_time`` / ``permanent_suspicion_time``
+    / ``suspicion_intervals`` per (observer, target) pair, plus sampled
+    ``suspects_at`` and ``false_suspicion_count_at``.  Reported events are
+    the queries executed, so kev/s = thousand queries per second.
+    """
+    import random as _random
+
+    from ..sim.trace import TraceRecorder
+
+    observers = 40
+    per_observer = max(50, n // 1000)
+    rng = _random.Random(5)
+    trace = TraceRecorder()
+    ids = list(range(1, observers + 1))
+    current: dict[int, frozenset[int]] = {pid: frozenset() for pid in ids}
+    now = 0.0
+    for _ in range(per_observer):
+        for observer in ids:
+            now += rng.random() * 0.01
+            after = frozenset(rng.sample(ids, rng.randrange(0, 4)))
+            trace.record_suspicion_change(now, observer, current[observer], after)
+            current[observer] = after
+    horizon = now + 1.0
+    sample_times = [horizon * i / 25.0 for i in range(25)]
+    queries = 0
+
+    def sweep() -> None:
+        nonlocal queries
+        for observer in ids:
+            for target in ids:
+                if observer == target:
+                    continue
+                trace.first_suspicion_time(observer, target)
+                trace.permanent_suspicion_time(observer, target)
+                trace.suspicion_intervals(observer, target, horizon=horizon)
+                queries += 3
+            for t in sample_times:
+                trace.suspects_at(observer, t)
+                queries += 1
+        for t in sample_times:
+            trace.false_suspicion_count_at(t, frozenset())
+            queries += 1
+
+    elapsed = _timed(sweep)
+    bench_trace_query.events = queries  # type: ignore[attr-defined]
+    return elapsed
+
+
+def bench_cells(n: int) -> float:
+    """One end-to-end experiment cell: run a cluster, then tabulate QoS."""
+    from ..metrics import all_detection_stats, message_load, mistake_stats
+    from ..sim.cluster import SimCluster, time_free_driver_factory
+    from ..sim.faults import CrashFault, FaultPlan
+    from ..sim.node import QueryPacing
+
+    horizon = max(5.0, n / 15_000)
+    victim = 30
+    plan = FaultPlan.of(crashes=[CrashFault(victim, horizon / 3.0)])
+    cluster = SimCluster(
+        n=30,
+        driver_factory=time_free_driver_factory(f=6, pacing=QueryPacing(grace=0.5)),
+        seed=13,
+        fault_plan=plan,
+        start_stagger=0.5,
+    )
+
+    def cell() -> None:
+        cluster.run(until=horizon)
+        all_detection_stats(cluster.trace, cluster.fault_plan, cluster.membership)
+        mistake_stats(cluster.trace, cluster.correct_processes(), horizon=horizon)
+        message_load(cluster.trace, horizon=horizon, n=30)
+
+    elapsed = _timed(cell)
+    bench_cells.events = cluster.scheduler.events_processed  # type: ignore[attr-defined]
+    return elapsed
+
+
 WORKLOADS: dict[str, Callable[[int], float]] = {
     "chain": bench_chain,
     "fanout": bench_fanout,
     "churn": bench_churn,
     "batch": bench_batch,
     "cluster": bench_cluster,
+    "broadcast": bench_broadcast,
+    "trace-query": bench_trace_query,
+    "cells": bench_cells,
 }
 
 
@@ -194,6 +337,53 @@ def microbench_table(payload: dict[str, Any]) -> Table:
         )
     table.add_note("timings are machine-dependent; artifact is for tracking, not identity")
     return table
+
+
+def load_floors(path: str | Path = DEFAULT_FLOORS_PATH) -> dict[str, float]:
+    """Read the committed per-workload kev/s floors."""
+    floors_path = Path(path)
+    try:
+        payload = json.loads(floors_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigurationError(f"floors file not found: {floors_path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"malformed floors file {floors_path}: {exc}") from exc
+    if payload.get("schema") != FLOORS_SCHEMA:
+        raise ConfigurationError(
+            f"{floors_path} has schema {payload.get('schema')!r}, "
+            f"expected {FLOORS_SCHEMA!r}"
+        )
+    floors = payload.get("floors_kev_per_s")
+    if not isinstance(floors, dict) or not floors:
+        raise ConfigurationError(f"{floors_path} has no floors_kev_per_s mapping")
+    return {str(name): float(value) for name, value in floors.items()}
+
+
+def check_floors(
+    payload: dict[str, Any], floors: dict[str, float]
+) -> list[str]:
+    """Compare a microbench payload against kev/s floors.
+
+    Returns human-readable failure lines, one per workload below its floor
+    (empty = gate passed).  Workloads without a committed floor are
+    ignored — adding a workload must not break the gate until its floor is
+    recorded — but a floor naming an unknown/unrun workload fails loudly,
+    so a renamed workload cannot silently lose its gate.
+    """
+    measured = {
+        cell["coords"]["workload"]: cell["value"]["kev_per_s"]
+        for cell in payload["cells"]
+    }
+    failures = []
+    for name, floor in sorted(floors.items()):
+        got = measured.get(name)
+        if got is None:
+            failures.append(f"{name}: floor {floor} kev/s but workload was not run")
+        elif got < floor:
+            failures.append(
+                f"{name}: {got} kev/s below the committed floor of {floor} kev/s"
+            )
+    return failures
 
 
 def write_microbench_artifact(out_dir: str | Path, payload: dict[str, Any]) -> Path:

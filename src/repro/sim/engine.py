@@ -211,10 +211,12 @@ class Scheduler:
             raise SimulationError(f"cannot run until {until}, already at {self._now}")
         self._stopped = False
         processed = 0
+        truncated = False  # stopped early with events <= `until` still pending
         heap = self._heap
         pop = heapq.heappop
         while heap and not self._stopped:
             if max_events is not None and processed >= max_events:
+                truncated = True
                 break
             event = heap[0]
             if event.state == _CANCELLED:
@@ -234,6 +236,10 @@ class Scheduler:
                 # The callback cancelled enough events to trigger compaction,
                 # which rebuilt the heap: rebind the local alias.
                 heap = self._heap
-        if until is not None and not self._stopped:
+        # Only advance to `until` when every event at or before it has been
+        # processed.  After a `max_events` (or `stop()`) break, pending
+        # events earlier than `until` may remain — jumping the clock over
+        # them would make time run backwards on the next `run` call.
+        if until is not None and not self._stopped and not truncated:
             self._now = max(self._now, until)
         return processed

@@ -20,7 +20,7 @@ from __future__ import annotations
 import abc
 import math
 import random
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from ..errors import ConfigurationError
 from ..ids import ProcessId
@@ -56,6 +56,25 @@ class LatencyModel(abc.ABC):
         it, and wrapper models propagate it to their base.
         """
         return self.sample(rng, src, dst)
+
+    def sample_many(
+        self,
+        rng: random.Random,
+        src: ProcessId,
+        dsts: Sequence[ProcessId],
+        now: float,
+    ) -> list[float]:
+        """Delays for one message from ``src`` to each of ``dsts``, in order.
+
+        This is the broadcast entry point: one call samples all ``n - 1``
+        per-destination delays, replacing ``len(dsts)`` virtual
+        :meth:`sample_at` dispatches with a single one.  Implementations
+        MUST consume ``rng`` exactly as the equivalent sequence of
+        :meth:`sample_at` calls would — batch sampling changes cost, never
+        the random stream, so traces stay bit-for-bit identical.
+        """
+        sample_at = self.sample_at
+        return [sample_at(rng, src, dst, now) for dst in dsts]
 
     def mean(self) -> float:
         """Analytic mean delay where defined; models may override."""
@@ -99,6 +118,14 @@ class ConstantLatency(LatencyModel):
             return self.delay
         return self.delay + rng.random() * self.jitter
 
+    def sample_many(
+        self, rng: random.Random, src: ProcessId, dsts: Sequence[ProcessId], now: float
+    ) -> list[float]:
+        if self.jitter == 0.0:
+            return [self.delay] * len(dsts)
+        delay, jitter, uniform = self.delay, self.jitter, rng.random
+        return [delay + uniform() * jitter for _ in dsts]
+
     def mean(self) -> float:
         return self.delay + self.jitter / 2.0
 
@@ -114,6 +141,12 @@ class UniformLatency(LatencyModel):
 
     def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
         return rng.uniform(self.low, self.high)
+
+    def sample_many(
+        self, rng: random.Random, src: ProcessId, dsts: Sequence[ProcessId], now: float
+    ) -> list[float]:
+        low, high, uniform = self.low, self.high, rng.uniform
+        return [uniform(low, high) for _ in dsts]
 
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
@@ -136,6 +169,12 @@ class ExponentialLatency(LatencyModel):
 
     def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
         return self.floor + rng.expovariate(1.0 / self._mean)
+
+    def sample_many(
+        self, rng: random.Random, src: ProcessId, dsts: Sequence[ProcessId], now: float
+    ) -> list[float]:
+        floor, lambd, expovariate = self.floor, 1.0 / self._mean, rng.expovariate
+        return [floor + expovariate(lambd) for _ in dsts]
 
     def mean(self) -> float:
         return self.floor + self._mean
@@ -164,6 +203,12 @@ class LogNormalLatency(LatencyModel):
     def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
         return self.floor + rng.lognormvariate(self._mu, self.sigma)
 
+    def sample_many(
+        self, rng: random.Random, src: ProcessId, dsts: Sequence[ProcessId], now: float
+    ) -> list[float]:
+        floor, mu, sigma, lognorm = self.floor, self._mu, self.sigma, rng.lognormvariate
+        return [floor + lognorm(mu, sigma) for _ in dsts]
+
     def mean(self) -> float:
         return self.floor + math.exp(self._mu + self.sigma**2 / 2.0)
 
@@ -184,6 +229,12 @@ class ParetoLatency(LatencyModel):
 
     def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
         return self.scale * rng.paretovariate(self.shape)
+
+    def sample_many(
+        self, rng: random.Random, src: ProcessId, dsts: Sequence[ProcessId], now: float
+    ) -> list[float]:
+        scale, shape, pareto = self.scale, self.shape, rng.paretovariate
+        return [scale * pareto(shape) for _ in dsts]
 
     def mean(self) -> float:
         if self.shape <= 1:
@@ -231,6 +282,13 @@ class BiasedLatency(LatencyModel):
         delay = self.base.sample_at(rng, src, dst, now)
         return self._apply(delay, src, dst)
 
+    def sample_many(
+        self, rng: random.Random, src: ProcessId, dsts: Sequence[ProcessId], now: float
+    ) -> list[float]:
+        delays = self.base.sample_many(rng, src, dsts, now)
+        apply = self._apply
+        return [apply(delay, src, dst) for delay, dst in zip(delays, dsts)]
+
     def _apply(self, delay: float, src: ProcessId, dst: ProcessId) -> float:
         if src in self.favored or (self.bidirectional and dst in self.favored):
             return delay / self.speedup
@@ -263,6 +321,15 @@ class RegimeShiftLatency(TimeAwareLatency):
         if now >= self.shift_at:
             return delay * self.factor
         return delay
+
+    def sample_many(
+        self, rng: random.Random, src: ProcessId, dsts: Sequence[ProcessId], now: float
+    ) -> list[float]:
+        sample = self.base.sample
+        if now >= self.shift_at:
+            factor = self.factor
+            return [sample(rng, src, dst) * factor for dst in dsts]
+        return [sample(rng, src, dst) for dst in dsts]
 
 
 class PairwiseLatency(LatencyModel):

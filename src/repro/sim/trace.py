@@ -5,10 +5,20 @@ detection times, mistake statistics and message loads from them.  Message
 records are aggregated (counters) by default to keep memory bounded on long
 runs; suspicion changes and rounds are kept in full since every experiment
 needs their timelines.
+
+Timeline queries are served from a **per-observer index** (parallel
+time/change arrays per observer, binary-searched where the query allows)
+built lazily on first read and extended incrementally on later reads —
+appends never pay for it, and a query costs O(changes of that observer)
+instead of O(all changes).  Metrics tabulation issues these queries once
+per (observer, target) pair, which made the old full-trace scans quadratic
+in practice.  The index assumes what the simulator guarantees: records are
+appended in non-decreasing time order.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -61,9 +71,19 @@ class MobilityEvent:
     kind: str  # "detach" | "attach"
 
 
+class _Timeline:
+    """One observer's changes with a parallel time array for bisection."""
+
+    __slots__ = ("times", "changes")
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.changes: list[SuspicionChange] = []
+
+
 @dataclass
 class TraceRecorder:
-    """Append-only record store with timeline queries."""
+    """Append-only record store with indexed timeline queries."""
 
     suspicion_changes: list[SuspicionChange] = field(default_factory=list)
     rounds: list[RoundRecord] = field(default_factory=list)
@@ -73,6 +93,25 @@ class TraceRecorder:
     messages_by_sender: Counter = field(default_factory=Counter)
     messages_total: int = 0
     messages_dropped: int = 0
+    #: lazy per-observer index over ``suspicion_changes`` (see module doc)
+    _index: dict[ProcessId, _Timeline] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _indexed: int = field(default=0, init=False, repr=False, compare=False)
+    #: the exact list object the index was built from — holding the
+    #: reference means a wholesale ``suspicion_changes`` replacement (test
+    #: fixtures do this) is always caught by identity, even at equal length
+    _indexed_source: list | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: lazy per-querier index over ``rounds``
+    _round_index: dict[ProcessId, list[RoundRecord]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _rounds_indexed: int = field(default=0, init=False, repr=False, compare=False)
+    _rounds_source: list | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- recording ---------------------------------------------------------
     def record_suspicion_change(
@@ -109,22 +148,69 @@ class TraceRecorder:
         self.messages_by_kind[kind] += 1
         self.messages_by_sender[sender] += 1
 
+    def record_messages(self, kind: str, sender: ProcessId, count: int) -> None:
+        """Bulk form of :meth:`record_message` (one broadcast, n-1 sends)."""
+        self.messages_total += count
+        self.messages_by_kind[kind] += count
+        self.messages_by_sender[sender] += count
+
     def record_drop(self) -> None:
         self.messages_dropped += 1
 
+    # -- index maintenance --------------------------------------------------
+    def _ensure_index(self) -> dict[ProcessId, _Timeline]:
+        index = self._index
+        changes = self.suspicion_changes
+        if changes is not self._indexed_source or len(changes) < self._indexed:
+            # The list was replaced wholesale or truncated in place (test
+            # fixtures do both): drop the stale index and rebuild.
+            index.clear()
+            self._indexed = 0
+            self._indexed_source = changes
+        count = len(changes)
+        if count == self._indexed:
+            return index
+        for change in changes[self._indexed :]:
+            timeline = index.get(change.observer)
+            if timeline is None:
+                timeline = index[change.observer] = _Timeline()
+            timeline.times.append(change.time)
+            timeline.changes.append(change)
+        self._indexed = count
+        return index
+
+    def _timeline(self, observer: ProcessId) -> _Timeline | None:
+        return self._ensure_index().get(observer)
+
+    def _ensure_round_index(self) -> dict[ProcessId, list[RoundRecord]]:
+        index = self._round_index
+        rounds = self.rounds
+        if rounds is not self._rounds_source or len(rounds) < self._rounds_indexed:
+            index.clear()
+            self._rounds_indexed = 0
+            self._rounds_source = rounds
+        count = len(rounds)
+        if count == self._rounds_indexed:
+            return index
+        for record in rounds[self._rounds_indexed :]:
+            index.setdefault(record.querier, []).append(record)
+        self._rounds_indexed = count
+        return index
+
     # -- timeline queries ----------------------------------------------------
     def changes_of(self, observer: ProcessId) -> list[SuspicionChange]:
-        return [c for c in self.suspicion_changes if c.observer == observer]
+        timeline = self._timeline(observer)
+        return list(timeline.changes) if timeline is not None else []
 
     def suspects_at(self, observer: ProcessId, time: float) -> frozenset[ProcessId]:
         """The observer's suspect list at ``time`` (empty before any change)."""
-        result: frozenset[ProcessId] = frozenset()
-        for change in self.suspicion_changes:
-            if change.time > time:
-                break
-            if change.observer == observer:
-                result = change.suspects
-        return result
+        timeline = self._timeline(observer)
+        if timeline is None:
+            return frozenset()
+        at = bisect_right(timeline.times, time)
+        if at == 0:
+            return frozenset()
+        return timeline.changes[at - 1].suspects
 
     def first_suspicion_time(
         self,
@@ -134,9 +220,12 @@ class TraceRecorder:
         after: float = 0.0,
     ) -> float | None:
         """First time >= ``after`` at which ``observer`` suspects ``target``."""
-        for change in self.suspicion_changes:
-            if change.time < after or change.observer != observer:
-                continue
+        timeline = self._timeline(observer)
+        if timeline is None:
+            return None
+        changes = timeline.changes
+        for at in range(bisect_left(timeline.times, after), len(changes)):
+            change = changes[at]
             if target in change.added:
                 return change.time
         return None
@@ -150,11 +239,12 @@ class TraceRecorder:
         the trace.  This is the quantity behind *strong completeness*
         detection times.
         """
+        timeline = self._timeline(observer)
+        if timeline is None:
+            return None
         start: float | None = None
         suspected = False
-        for change in self.suspicion_changes:
-            if change.observer != observer:
-                continue
+        for change in timeline.changes:
             if target in change.added and not suspected:
                 suspected = True
                 start = change.time
@@ -170,16 +260,16 @@ class TraceRecorder:
 
         The final interval is closed at ``horizon`` when still open.
         """
+        timeline = self._timeline(observer)
         intervals: list[tuple[float, float]] = []
         start: float | None = None
-        for change in self.suspicion_changes:
-            if change.observer != observer:
-                continue
-            if target in change.added and start is None:
-                start = change.time
-            elif target in change.removed and start is not None:
-                intervals.append((start, change.time))
-                start = None
+        if timeline is not None:
+            for change in timeline.changes:
+                if target in change.added and start is None:
+                    start = change.time
+                elif target in change.removed and start is not None:
+                    intervals.append((start, change.time))
+                    start = None
         if start is not None:
             intervals.append((start, horizon))
         return intervals
@@ -193,18 +283,17 @@ class TraceRecorder:
         the mobility experiment's "# of false suspicions" axis.
         """
         count = 0
-        per_observer: dict[ProcessId, frozenset[ProcessId]] = {}
-        for change in self.suspicion_changes:
-            if change.time > time:
-                break
-            per_observer[change.observer] = change.suspects
-        for suspects in per_observer.values():
+        for timeline in self._ensure_index().values():
+            at = bisect_right(timeline.times, time)
+            if at == 0:
+                continue
+            suspects = timeline.changes[at - 1].suspects
             count += sum(1 for target in suspects if target not in crashed)
         return count
 
     # -- round queries --------------------------------------------------------
     def rounds_of(self, querier: ProcessId) -> list[RoundRecord]:
-        return [r for r in self.rounds if r.querier == querier]
+        return list(self._ensure_round_index().get(querier, ()))
 
     def crash_time_of(self, process: ProcessId) -> float | None:
         for event in self.crashes:

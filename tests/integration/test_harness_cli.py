@@ -207,3 +207,53 @@ class TestGridEquivalence:
             tmp_path, run_grid(t2_impact_of_f.SPEC, params, cache=cache)
         ).read_bytes()
         assert first == second
+
+
+class TestBenchCheck:
+    """`repro bench --check`: the kev/s regression gate."""
+
+    def _floors(self, tmp_path, floors):
+        path = tmp_path / "floors.json"
+        path.write_text(json.dumps({
+            "schema": "repro-bench-floors/1",
+            "floors_kev_per_s": floors,
+        }))
+        return str(path)
+
+    def test_passing_gate_exits_zero(self, tmp_path, capsys):
+        floors = self._floors(tmp_path, {"chain": 0.001})
+        assert main(["bench", "--events", "2000", "--only", "chain",
+                     "--out", str(tmp_path), "--quiet",
+                     "--check", "--floors", floors]) == 0
+        assert "bench check OK" in capsys.readouterr().out
+
+    def test_regression_below_floor_exits_one(self, tmp_path, capsys):
+        floors = self._floors(tmp_path, {"chain": 1e12})
+        assert main(["bench", "--events", "2000", "--only", "chain",
+                     "--out", str(tmp_path), "--quiet",
+                     "--check", "--floors", floors]) == 1
+        assert "below the committed floor" in capsys.readouterr().err
+
+    def test_committed_floors_cover_every_workload(self):
+        from repro.harness.microbench import WORKLOADS, load_floors
+
+        floors = load_floors("benchmarks/bench_floors.json")
+        assert set(floors) == set(WORKLOADS)
+
+    def test_floor_for_missing_workload_fails(self, tmp_path, capsys):
+        # A floor naming a workload that was not run must fail loudly —
+        # renaming a workload cannot silently lose its gate.  (The CLI
+        # filters floors to --only selections; this exercises the API.)
+        from repro.harness.microbench import check_floors
+
+        payload = {"cells": [{"coords": {"workload": "chain"},
+                              "value": {"kev_per_s": 100.0}}]}
+        failures = check_floors(payload, {"gone": 1.0})
+        assert failures and "was not run" in failures[0]
+
+    def test_bad_floors_file_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["bench", "--events", "2000", "--only", "chain",
+                     "--out", str(tmp_path), "--quiet",
+                     "--check", "--floors", missing]) == 2
+        assert "floors file not found" in capsys.readouterr().err

@@ -85,6 +85,36 @@ class TestRunBounds:
         assert processed == 3
         assert fired == [0, 1, 2]
 
+    def test_max_events_break_does_not_jump_clock_past_pending_events(self):
+        # Regression: `run(until=U, max_events=k)` used to advance `now` to
+        # U even when events earlier than U were still pending, so the next
+        # `run` call moved time backwards through them.
+        scheduler = Scheduler()
+        fired = []
+        for i in (1.0, 2.0, 3.0):
+            scheduler.schedule_at(i, fired.append, i)
+        scheduler.run(until=10.0, max_events=1)
+        assert fired == [1.0]
+        assert scheduler.now == 1.0  # not 10.0: events at 2.0/3.0 pending
+        seen = []
+        scheduler.schedule_at(1.5, lambda: seen.append(scheduler.now))
+        scheduler.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0]
+        assert seen == [1.5]
+        assert scheduler.now == 10.0
+
+    def test_max_events_break_with_no_pending_earlier_events_resumes_cleanly(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_at(1.0, fired.append, "a")
+        scheduler.schedule_at(20.0, fired.append, "b")
+        scheduler.run(until=10.0, max_events=1)
+        # The remaining event is beyond `until`; a follow-up bounded run
+        # must still reach `until` without touching it.
+        scheduler.run(until=10.0)
+        assert fired == ["a"]
+        assert scheduler.now == 10.0
+
     def test_stop_halts_the_loop(self):
         scheduler = Scheduler()
         fired = []

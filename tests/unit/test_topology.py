@@ -159,3 +159,38 @@ class TestManetConstruction:
                 transmission_range=10.0,
                 max_attempts_per_node=50,
             )
+
+
+class TestNeighborCaches:
+    def test_sorted_neighbors_matches_sorted_frozenset(self):
+        topo = full_mesh([1, 2, 3, 4])
+        assert topo.sorted_neighbors(1) == tuple(sorted(topo.neighbors(1), key=repr))
+
+    def test_sorted_neighbors_unknown_node_raises(self):
+        with pytest.raises(TopologyError):
+            full_mesh([1, 2]).sorted_neighbors(9)
+
+    def test_caches_invalidated_on_add_edge(self):
+        topo = ring([1, 2, 3, 4])
+        assert topo.sorted_neighbors(1) == (2, 4)
+        assert topo.neighbors(1) == frozenset({2, 4})
+        topo.add_edge(1, 3)
+        assert topo.sorted_neighbors(1) == (2, 3, 4)
+        assert topo.neighbors(1) == frozenset({2, 3, 4})
+        assert topo.sorted_neighbors(3) == (1, 2, 4)
+
+    def test_caches_invalidated_on_remove_edge(self):
+        topo = full_mesh([1, 2, 3])
+        assert topo.sorted_neighbors(1) == (2, 3)
+        topo.remove_edge(1, 2)
+        assert topo.sorted_neighbors(1) == (3,)
+        assert topo.neighbors(2) == frozenset({3})
+
+    def test_caches_invalidated_through_isolate_and_connect(self):
+        topo = full_mesh([1, 2, 3, 4])
+        former = topo.isolate(2)
+        assert topo.neighbors(2) == frozenset()
+        assert topo.sorted_neighbors(1) == (3, 4)
+        topo.connect(2, former)
+        assert topo.sorted_neighbors(2) == (1, 3, 4)
+        assert topo.sorted_neighbors(1) == (2, 3, 4)
