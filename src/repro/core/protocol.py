@@ -63,10 +63,30 @@ class DetectorConfig:
     def __post_init__(self) -> None:
         members = validate_membership(self.membership, process_id=self.process_id, f=self.f)
         object.__setattr__(self, "membership", members)
+        # Membership is immutable, so the repr-sorted sweep order is computed
+        # once here instead of once per finish_round (the line-9 sweep) and
+        # once per service construction (the peer list).
+        members_sorted = tuple(sorted(members, key=repr))
+        object.__setattr__(self, "_members_sorted", members_sorted)
+        object.__setattr__(
+            self,
+            "_peers_sorted",
+            tuple(pid for pid in members_sorted if pid != self.process_id),
+        )
 
     @property
     def n(self) -> int:
         return len(self.membership)
+
+    @property
+    def members_sorted(self) -> tuple[ProcessId, ...]:
+        """The full membership, repr-sorted (cached; line 9 sweeps iterate it)."""
+        return self._members_sorted  # type: ignore[attr-defined]
+
+    @property
+    def peers_sorted(self) -> tuple[ProcessId, ...]:
+        """``membership - {process_id}``, repr-sorted (cached)."""
+        return self._peers_sorted  # type: ignore[attr-defined]
 
     @property
     def quorum(self) -> int:
@@ -123,6 +143,14 @@ class TimeFreeDetector(FailureDetector):
         self._responders: list[ProcessId] = []
         self._responder_set: set[ProcessId] = set()
         self._rounds_completed = 0
+        #: quorum is config-constant; cached off the property chain because
+        #: quorum_reached runs once per received response.
+        self._quorum = config.quorum
+        #: last RESPONSE built by on_query, reused while peers keep querying
+        #: with the same round id (they pace in lockstep, so hits dominate).
+        #: Safe because Response is frozen — receivers never rely on object
+        #: identity.  Only used when no piggyback provider is attached.
+        self._response_cache: Response | None = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -160,7 +188,9 @@ class TimeFreeDetector(FailureDetector):
         return self._state
 
     def suspects(self) -> frozenset[ProcessId]:
-        return self._state.suspects()
+        # Straight to the cached frozenset: this runs before/after every
+        # delivered query, so every hop counts.
+        return self._state.suspected.ids()
 
     def mistakes(self) -> frozenset[ProcessId]:
         """Processes currently recorded as previously-wrongly-suspected."""
@@ -197,8 +227,13 @@ class TimeFreeDetector(FailureDetector):
         Responses to earlier (already finished) queries and duplicate
         responses are ignored — each query-response pair is uniquely
         identified by ``round_id``.
+
+        Accounting a response never touches the suspicion state (merging
+        happens on queries only) — drivers rely on this to skip their
+        before/after suspect-set comparison on the response hot path.
         """
-        self._consume_extra(response.sender, response.extra_payload())
+        if self._extra_consumer is not None and response.extra:
+            self._extra_consumer(response.sender, response.extra_payload())
         if not self._collecting or response.round_id != self._round_id:
             return False
         if response.sender in self._responder_set:
@@ -209,7 +244,7 @@ class TimeFreeDetector(FailureDetector):
 
     def quorum_reached(self) -> bool:
         """Line 7: at least ``n - f`` distinct responses received."""
-        return self._collecting and len(self._responders) >= self._config.quorum
+        return self._collecting and len(self._responders) >= self._quorum
 
     def finish_round(self) -> QueryRoundOutcome:
         """Close the round: detect new suspicions (lines 8-15), bump counter.
@@ -227,16 +262,20 @@ class TimeFreeDetector(FailureDetector):
                 f"{len(self._responders)}/{self._config.quorum} responses; "
                 "cannot terminate the query before the quorum (line 7)"
             )
-        rec_from = frozenset(self._responder_set)
+        rec_from = self._responder_set
+        winners = frozenset(self._responders[: self._quorum])
         newly: list[ProcessId] = []
         # Line 9: known processes (here: the static membership) that did not
-        # respond and are not already suspected become suspected.
-        for pj in sorted(self._config.membership - rec_from, key=repr):
+        # respond and are not already suspected become suspected.  Iterating
+        # the config's pre-sorted membership and skipping responders visits
+        # exactly sorted(membership - rec_from) without a per-round sort.
+        for pj in self._config.members_sorted:
+            if pj in rec_from:
+                continue
             result = self._state.suspect_locally(pj)
             if result.outcome is MergeOutcome.SUSPICION_ADOPTED:
                 newly.append(pj)
         counter_after = self._state.end_round()
-        winners = frozenset(self._responders[: self._config.quorum])
         outcome = QueryRoundOutcome(
             round_id=self._round_id,
             responders=tuple(self._responders),
@@ -271,16 +310,23 @@ class TimeFreeDetector(FailureDetector):
         """
         if query.sender == self.process_id:
             return None  # own broadcast echoed back; carries no new information
-        self._consume_extra(query.sender, query.extra_payload())
-        for pid, tag in query.suspected:
-            self._state.merge_remote_suspicion(pid, tag)
-        for pid, tag in query.mistakes:
-            self._state.merge_remote_mistake(pid, tag)
-        response = Response(
-            sender=self.process_id,
-            round_id=query.round_id,
-            extra=self._make_extra(),
-        )
+        if self._extra_consumer is not None and query.extra:
+            self._extra_consumer(query.sender, query.extra_payload())
+        # Batched T2 merge: one fused pass over both record streams,
+        # allocation-free when everything is stale (the steady state — every
+        # query re-ships the full sets).
+        self._state.merge_query(query.suspected, query.mistakes)
+        if self._extra_provider is None:
+            response = self._response_cache
+            if response is None or response.round_id != query.round_id:
+                response = Response(sender=self.process_id, round_id=query.round_id)
+                self._response_cache = response
+        else:
+            response = Response(
+                sender=self.process_id,
+                round_id=query.round_id,
+                extra=self._make_extra(),
+            )
         return SendTo(query.sender, response)
 
     # ------------------------------------------------------------------
@@ -290,8 +336,11 @@ class TimeFreeDetector(FailureDetector):
         if self._extra_provider is None:
             return ()
         payload = self._extra_provider()
+        if not payload:
+            return ()
         return tuple(sorted(payload.items()))
 
-    def _consume_extra(self, sender: ProcessId, payload: dict[str, Any]) -> None:
-        if self._extra_consumer is not None and payload:
-            self._extra_consumer(sender, payload)
+    # NOTE: incoming piggyback payloads are consumed inline in on_query /
+    # on_response — the dict is only materialised when a consumer exists AND
+    # the message actually carries something, so the common case (no Omega
+    # layer) costs two attribute reads per message.

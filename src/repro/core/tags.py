@@ -23,6 +23,21 @@ used for both ``suspected_i`` and ``mistake_i``; :class:`SuspicionState`
 bundles the two sets with the round counter and implements the merge rules so
 that every detector variant (full-membership core, partial-connectivity
 extension) shares one audited implementation.
+
+Two merge surfaces exist on :class:`SuspicionState`:
+
+* the **per-record** methods (:meth:`~SuspicionState.merge_remote_suspicion`
+  / :meth:`~SuspicionState.merge_remote_mistake`) return a
+  :class:`MergeResult` per record — the audited reference implementation,
+  kept deliberately simple and property-tested as the oracle;
+* the **batched** entry points (:meth:`~SuspicionState.merge_query` and the
+  :meth:`~SuspicionState.merge_remote_suspicions` /
+  :meth:`~SuspicionState.merge_remote_mistakes` conveniences) process a
+  whole received record stream in one fused pass and return one compact
+  :class:`MergeDelta`.  Algorithm 1 re-ships the *full* sets on every query,
+  so in steady state nearly every record is stale; the batched stale path is
+  dict lookups only and returns the :data:`EMPTY_DELTA` singleton — zero
+  :class:`MergeResult` (or any other) allocations.
 """
 
 from __future__ import annotations
@@ -33,7 +48,20 @@ from typing import Iterable, Iterator, Mapping
 
 from ..ids import ProcessId
 
-__all__ = ["TaggedSet", "MergeOutcome", "MergeResult", "SuspicionState"]
+__all__ = [
+    "TaggedSet",
+    "MergeOutcome",
+    "MergeResult",
+    "MergeDelta",
+    "EMPTY_DELTA",
+    "SuspicionState",
+]
+
+_MISSING = object()
+
+
+def _record_key(item: tuple[ProcessId, int]) -> str:
+    return repr(item[0])
 
 
 class TaggedSet:
@@ -42,40 +70,82 @@ class TaggedSet:
     ``Add(set, <id, counter>)`` in the paper *replaces* any existing record
     for ``id``; a ``TaggedSet`` therefore behaves as a mapping from process
     id to its most recently stored tag.
+
+    The repr-sorted :meth:`snapshot` tuple and the :meth:`ids` frozenset are
+    cached and invalidated by a :attr:`version` counter that every effective
+    mutation bumps — ``start_round`` embeds a snapshot in each outgoing
+    query, and in steady state (no suspicion churn) the cached tuple is
+    reused round after round instead of being re-sorted.
     """
 
-    __slots__ = ("_tags",)
+    __slots__ = (
+        "_tags",
+        "_version",
+        "_snapshot",
+        "_snapshot_version",
+        "_ids",
+        "_ids_version",
+    )
 
     def __init__(self, items: Mapping[ProcessId, int] | Iterable[tuple[ProcessId, int]] = ()):
         if isinstance(items, Mapping):
             self._tags: dict[ProcessId, int] = dict(items)
         else:
             self._tags = {pid: tag for pid, tag in items}
+        self._version = 0
+        self._snapshot: tuple[tuple[ProcessId, int], ...] | None = None
+        self._snapshot_version = -1
+        self._ids: frozenset[ProcessId] | None = None
+        self._ids_version = -1
 
     # -- mutation ---------------------------------------------------------
     def add(self, pid: ProcessId, tag: int) -> None:
-        """Store ``<pid, tag>``, replacing any existing record for ``pid``."""
-        self._tags[pid] = tag
+        """Store ``<pid, tag>``, replacing any existing record for ``pid``.
+
+        Re-adding the identical record is not a mutation: the caches stay
+        valid and :attr:`version` does not move.
+        """
+        tags = self._tags
+        if tags.get(pid, _MISSING) != tag:
+            tags[pid] = tag
+            self._version += 1
 
     def discard(self, pid: ProcessId) -> bool:
         """Remove the record for ``pid`` if present; return whether it was."""
-        return self._tags.pop(pid, None) is not None
+        if self._tags.pop(pid, _MISSING) is not _MISSING:
+            self._version += 1
+            return True
+        return False
 
     def clear(self) -> None:
-        self._tags.clear()
+        if self._tags:
+            self._tags.clear()
+            self._version += 1
 
     # -- queries ----------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Bumped by every effective mutation; equal versions ⇒ equal content."""
+        return self._version
+
     def tag_of(self, pid: ProcessId) -> int | None:
         """Return the stored tag for ``pid`` or ``None``."""
         return self._tags.get(pid)
 
     def ids(self) -> frozenset[ProcessId]:
-        """The set of process ids with a record."""
-        return frozenset(self._tags)
+        """The set of process ids with a record (cached between mutations)."""
+        if self._ids_version != self._version:
+            self._ids = frozenset(self._tags)
+            self._ids_version = self._version
+        return self._ids  # type: ignore[return-value]
 
     def snapshot(self) -> tuple[tuple[ProcessId, int], ...]:
-        """An immutable copy suitable for embedding in a wire message."""
-        return tuple(sorted(self._tags.items(), key=lambda item: repr(item[0])))
+        """An immutable repr-sorted copy suitable for embedding in a wire
+        message (cached between mutations)."""
+        if self._snapshot_version != self._version:
+            self._snapshot = tuple(sorted(self._tags.items(), key=_record_key))
+            self._snapshot_version = self._version
+        return self._snapshot  # type: ignore[return-value]
 
     def copy(self) -> "TaggedSet":
         return TaggedSet(self._tags)
@@ -89,7 +159,7 @@ class TaggedSet:
         return pid in self._tags
 
     def __iter__(self) -> Iterator[tuple[ProcessId, int]]:
-        return iter(sorted(self._tags.items(), key=lambda item: repr(item[0])))
+        return iter(self.snapshot())
 
     def __len__(self) -> int:
         return len(self._tags)
@@ -125,6 +195,33 @@ class MergeResult:
     outcome: MergeOutcome
     #: Tag now stored for ``subject`` (``None`` when the record was ignored).
     stored_tag: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class MergeDelta:
+    """Compact outcome of a *batched* merge: what changed, not per-record.
+
+    ``suspicions_adopted`` / ``mistakes_adopted`` list the subjects whose
+    records were adopted, in record order (duplicates possible when one
+    stream carries several fresh records for the same subject, mirroring the
+    per-record oracle).  ``self_refuted`` reports that at least one received
+    suspicion named the local process and was refuted.  An all-stale batch
+    returns the shared :data:`EMPTY_DELTA` instance, so steady-state merging
+    allocates nothing.
+    """
+
+    suspicions_adopted: tuple[ProcessId, ...] = ()
+    mistakes_adopted: tuple[ProcessId, ...] = ()
+    self_refuted: bool = False
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.suspicions_adopted or self.mistakes_adopted or self.self_refuted
+        )
+
+
+#: Singleton returned by the batched merges when every record was stale.
+EMPTY_DELTA = MergeDelta()
 
 
 @dataclass
@@ -165,7 +262,7 @@ class SuspicionState:
         self.counter += 1
         return self.counter
 
-    # -- remote information (task T2) --------------------------------------
+    # -- remote information, per record (task T2; the audited oracle) -------
     def merge_remote_suspicion(self, pid: ProcessId, tag: int) -> MergeResult:
         """Merge one record of a received ``suspected_j`` set (lines 21-31)."""
         if not self._suspicion_is_newer(pid, tag):
@@ -190,6 +287,92 @@ class SuspicionState:
         self.mistakes.add(pid, tag)
         self.suspected.discard(pid)
         return MergeResult(pid, MergeOutcome.MISTAKE_ADOPTED, tag)
+
+    # -- remote information, batched (task T2; the hot path) ----------------
+    def merge_query(
+        self,
+        suspected: Iterable[tuple[ProcessId, int]],
+        mistakes: Iterable[tuple[ProcessId, int]],
+    ) -> MergeDelta:
+        """Merge a full received ``QUERY`` payload in one fused pass.
+
+        Record-for-record equivalent to calling
+        :meth:`merge_remote_suspicion` for each ``suspected`` record and then
+        :meth:`merge_remote_mistake` for each ``mistakes`` record (the
+        property suite pins this against the oracle).  The stale fast path —
+        the steady state, since every query re-ships the full sets — does
+        dict lookups only and returns :data:`EMPTY_DELTA` without allocating
+        a single result object.
+        """
+        sus = self.suspected
+        mis = self.mistakes
+        sus_tags = sus._tags
+        mis_tags = mis._tags
+        owner = self.owner
+        s_adopted: list[ProcessId] | None = None
+        m_adopted: list[ProcessId] | None = None
+        refuted = False
+        for pid, tag in suspected:
+            # Line 22: adopt iff unknown or strictly newer than the stored
+            # tag (suspicion record wins the lookup when both exist — the
+            # sets are disjoint, so at most one holds pid).
+            known = sus_tags.get(pid)
+            if known is None:
+                known = mis_tags.get(pid)
+            if known is not None and known >= tag:
+                continue  # stale — the no-allocation fast path
+            if pid == owner:
+                # Lines 23-25: refute, counter past the accusation.
+                if tag + 1 > self.counter:
+                    self.counter = tag + 1
+                mis.add(owner, self.counter)
+                sus.discard(owner)
+                refuted = True
+            else:
+                # Lines 27-28.
+                sus.add(pid, tag)
+                mis.discard(pid)
+                if s_adopted is None:
+                    s_adopted = [pid]
+                else:
+                    s_adopted.append(pid)
+        for pid, tag in mistakes:
+            # Line 33 with the Lemma 4 refinement (see _mistake_is_newer):
+            # a tie beats a *suspicion* but not an existing mistake.
+            known = sus_tags.get(pid)
+            if known is not None:
+                if known > tag:
+                    continue
+            else:
+                known = mis_tags.get(pid)
+                if known is not None and known >= tag:
+                    continue
+            # Lines 34-35.
+            mis.add(pid, tag)
+            sus.discard(pid)
+            if m_adopted is None:
+                m_adopted = [pid]
+            else:
+                m_adopted.append(pid)
+        if s_adopted is None and m_adopted is None and not refuted:
+            return EMPTY_DELTA
+        return MergeDelta(
+            tuple(s_adopted) if s_adopted is not None else (),
+            tuple(m_adopted) if m_adopted is not None else (),
+            refuted,
+        )
+
+    def merge_remote_suspicions(
+        self, records: Iterable[tuple[ProcessId, int]]
+    ) -> MergeDelta:
+        """Batched :meth:`merge_remote_suspicion` over a record stream."""
+        return self.merge_query(records, ())
+
+    def merge_remote_mistakes(
+        self, records: Iterable[tuple[ProcessId, int]]
+    ) -> MergeDelta:
+        """Batched :meth:`merge_remote_mistake` over a record stream."""
+        return self.merge_query((), records)
 
     # -- freshness predicates ----------------------------------------------
     def _known_tag(self, pid: ProcessId) -> int | None:
@@ -234,9 +417,15 @@ class SuspicionState:
         * a process never holds *itself* in its ``suspected`` set (it refutes
           instead),
         * ``suspected`` and ``mistakes`` are disjoint,
-        * no stored tag exceeds the local counter once the counter has been
-          advanced past it (tags are only ever produced at-or-below the
-          issuing process's counter).
+        * the mistake record about the *local* process never carries a tag
+          above the local counter.  Every mistake record about ``p_i`` in
+          the whole system originates from ``p_i``'s own refutation (lines
+          23-25), which tags it with ``counter_i`` at that instant — and the
+          counter never decreases — so a self-record tag ahead of the
+          counter means the counter regressed or a forged record was
+          adopted.  (Tags about *other* processes may legitimately exceed
+          the local counter: they were issued against the remote process's
+          counter.)
         """
         problems: list[str] = []
         if self.owner in self.suspected:
@@ -244,4 +433,9 @@ class SuspicionState:
         overlap = self.suspected.ids() & self.mistakes.ids()
         if overlap:
             problems.append(f"suspected/mistakes overlap: {sorted(overlap, key=repr)}")
+        self_mistake = self.mistakes.tag_of(self.owner)
+        if self_mistake is not None and self_mistake > self.counter:
+            problems.append(
+                f"self-mistake tag {self_mistake} exceeds counter {self.counter}"
+            )
         return problems

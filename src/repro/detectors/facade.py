@@ -123,6 +123,9 @@ class QueryRoundFacade:
 
     def on_message(self, now: float, sender: ProcessId, message: object) -> list[Effect]:
         if isinstance(message, Query):
+            # Delegates to the core's batched T2 merge (one fused pass over
+            # both record streams; allocation-free when all records are
+            # stale).
             response = self.core.on_query(message)
             return [response] if response is not None else []
         if isinstance(message, Response):

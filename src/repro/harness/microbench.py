@@ -28,6 +28,10 @@ Workloads:
 * ``cells``   — one end-to-end experiment cell: a time-free cluster with
   a crash, run to horizon, then the full QoS tabulation (detection,
   mistakes, message load) — the workload grid runs scale by.
+* ``merge``   — protocol-core hot path: steady-state query merging on an
+  n=32 membership where every received record is stale (Algorithm 1
+  re-ships the full sets each round), exercising the batched
+  ``SuspicionState.merge_query`` fast path (events = records merged).
 
 ``repro bench --check`` compares a fresh run against the committed
 per-workload kev/s floors (``benchmarks/bench_floors.json``) and fails
@@ -36,6 +40,7 @@ when any workload regresses below its floor — the CI regression gate.
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from pathlib import Path
@@ -264,6 +269,50 @@ def bench_cells(n: int) -> float:
     return elapsed
 
 
+def bench_merge(n: int) -> float:
+    """Protocol-core hot path: steady-state query merging, all records stale.
+
+    Builds one n=32 time-free detector whose ``suspected``/``mistake`` sets
+    are dense (every other member has a record), then replays queries from
+    all 31 peers carrying exactly those sets — the steady state of
+    Algorithm 1, where every merged record is stale.  Reported events are
+    the records merged, so kev/s = thousand records per second.  This is
+    the workload the batched ``merge_query`` fast path exists for; its
+    committed floor sits above the per-record implementation's speed, so
+    reverting the batched path trips the ``bench-gate`` CI job.
+    """
+    from ..core.messages import Query
+    from ..core.protocol import DetectorConfig, TimeFreeDetector
+
+    size = 32
+    members = frozenset(range(1, size + 1))
+    detector = TimeFreeDetector(DetectorConfig.for_process(1, members, f=8))
+    state = detector.state
+    for pid in range(2, size // 2 + 2):
+        state.suspected.add(pid, 5)
+    for pid in range(size // 2 + 2, size + 1):
+        state.mistakes.add(pid, 5)
+    state.counter = 10
+    suspected = state.suspected.snapshot()
+    mistakes = state.mistakes.snapshot()
+    queries = [
+        Query(sender=pid, round_id=1, suspected=suspected, mistakes=mistakes)
+        for pid in range(2, size + 1)
+    ]
+    records_per_pass = len(queries) * (len(suspected) + len(mistakes))
+    iters = max(1, n // records_per_pass)
+
+    def sweep() -> None:
+        on_query = detector.on_query
+        for _ in range(iters):
+            for query in queries:
+                on_query(query)
+
+    elapsed = _timed(sweep)
+    bench_merge.events = iters * records_per_pass  # type: ignore[attr-defined]
+    return elapsed
+
+
 WORKLOADS: dict[str, Callable[[int], float]] = {
     "chain": bench_chain,
     "fanout": bench_fanout,
@@ -273,6 +322,7 @@ WORKLOADS: dict[str, Callable[[int], float]] = {
     "broadcast": bench_broadcast,
     "trace-query": bench_trace_query,
     "cells": bench_cells,
+    "merge": bench_merge,
 }
 
 
@@ -289,7 +339,19 @@ def run_microbench(
     cells = []
     for name in wanted:
         fn = WORKLOADS[name]
-        elapsed = fn(events)
+        # Measurement protocol: collect leftover garbage from previous
+        # workloads, then keep the cyclic collector out of the timed
+        # section — GC pauses landing inside a run were the dominant
+        # run-to-run variance (±40% on `cells`), drowning real regressions.
+        # The caller's GC state is restored, not assumed.
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            elapsed = fn(events)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         processed = getattr(fn, "events", events)
         cells.append(
             {

@@ -79,6 +79,11 @@ class PartialTimeFreeDetector(FailureDetector):
         self._responders: list[ProcessId] = []
         self._responder_set: set[ProcessId] = set()
         self._rounds_completed = 0
+        # Config-constant, cached off the property chain (checked per response).
+        self._quorum = config.quorum
+        # Reused while peers query with the same round id (Response is
+        # frozen; receivers never rely on object identity).
+        self._response_cache: Response | None = None
 
     # -- introspection ---------------------------------------------------
     @property
@@ -110,7 +115,7 @@ class PartialTimeFreeDetector(FailureDetector):
         return frozenset(self._known)
 
     def suspects(self) -> frozenset[ProcessId]:
-        return self._state.suspects()
+        return self._state.suspected.ids()
 
     def mistakes(self) -> frozenset[ProcessId]:
         return self._state.mistakes.ids()
@@ -143,7 +148,7 @@ class PartialTimeFreeDetector(FailureDetector):
         return True
 
     def quorum_reached(self) -> bool:
-        return self._collecting and len(self._responders) >= self._config.quorum
+        return self._collecting and len(self._responders) >= self._quorum
 
     def finish_round(self) -> QueryRoundOutcome:
         if not self._collecting:
@@ -153,15 +158,17 @@ class PartialTimeFreeDetector(FailureDetector):
                 f"{self.process_id!r}: round {self._round_id} has "
                 f"{len(self._responders)}/{self._config.quorum} responses"
             )
-        rec_from = frozenset(self._responder_set)
         newly: list[ProcessId] = []
-        # Line 9: only *known* processes can be suspected.
-        for pj in sorted(self._known - rec_from, key=repr):
-            result = self._state.suspect_locally(pj)
-            if result.outcome is MergeOutcome.SUSPICION_ADOPTED:
-                newly.append(pj)
+        # Line 9: only *known* processes can be suspected.  In steady state
+        # every known process responded, so the common case sorts nothing.
+        missing = self._known - self._responder_set
+        if missing:
+            for pj in sorted(missing, key=repr):
+                result = self._state.suspect_locally(pj)
+                if result.outcome is MergeOutcome.SUSPICION_ADOPTED:
+                    newly.append(pj)
         counter_after = self._state.end_round()
-        winners = frozenset(self._responders[: self._config.quorum])
+        winners = frozenset(self._responders[: self._quorum])
         outcome = QueryRoundOutcome(
             round_id=self._round_id,
             responders=tuple(self._responders),
@@ -185,24 +192,23 @@ class PartialTimeFreeDetector(FailureDetector):
             return None
         # Line 20: learn the sender.
         self._known.add(query.sender)
-        for pid, tag in query.suspected:
-            self._state.merge_remote_suspicion(pid, tag)
-        for pid, tag in query.mistakes:
-            result = self._state.merge_remote_mistake(pid, tag)
+        # Batched T2 merge (same fused pass as the core detector); the
+        # compact delta then drives the mobility rule below.
+        delta = self._state.merge_query(query.suspected, query.mistakes)
+        if self._mobility and delta.mistakes_adopted:
             # Algorithm 2, lines 36-38: a relayed mistake about a process we
             # did not hear it from directly means that process now lives in
             # a remote range — forget it, or we would suspect it forever.
-            if (
-                self._mobility
-                and result.outcome is MergeOutcome.MISTAKE_ADOPTED
-                and pid != query.sender
-                and pid != self.process_id
-            ):
-                self._known.discard(pid)
-        return SendTo(
-            query.sender,
-            Response(sender=self.process_id, round_id=query.round_id),
-        )
+            sender = query.sender
+            owner = self.process_id
+            for pid in delta.mistakes_adopted:
+                if pid != sender and pid != owner:
+                    self._known.discard(pid)
+        response = self._response_cache
+        if response is None or response.round_id != query.round_id:
+            response = Response(sender=self.process_id, round_id=query.round_id)
+            self._response_cache = response
+        return SendTo(query.sender, response)
 
 
 def partial_driver_factory(

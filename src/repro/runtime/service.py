@@ -101,7 +101,7 @@ class DetectorService:
             )
         self.transport = transport
         self.pacing = pacing
-        self._peers = sorted(config.membership - {config.process_id}, key=repr)
+        self._peers = list(config.peers_sorted)
         self._quorum_event = asyncio.Event()
         self._wake = asyncio.Event()
         self._elector = None
@@ -321,16 +321,19 @@ class DetectorService:
             self._notify_if_changed(before)
             self._wake.set()
             return
-        before = self.detector.suspects()
         if isinstance(message, Query):
+            # Queries run the batched T2 merge and may change the suspect
+            # set; responses never do (QueryDetectorCore contract), so the
+            # watcher notification check runs for queries only.
+            before = self.detector.suspects()
             effect = self.detector.on_query(message)
             if effect is not None:
                 self._send_soon(effect.destination, effect.message)
+            self._notify_if_changed(before)
         elif isinstance(message, Response):
             self.detector.on_response(message)
             if self.detector.quorum_reached():
                 self._quorum_event.set()
-        self._notify_if_changed(before)
 
     def _execute(self, effects) -> None:
         """Put core effects on the wire (fire-and-forget send tasks)."""

@@ -1,0 +1,181 @@
+"""Optional numpy-vectorized latency sampling (opt-in, guarded import).
+
+The pure-python :meth:`~repro.sim.latency.LatencyModel.sample_many`
+implementations already batch the *dispatch* cost of broadcast delay
+sampling, but each delay still pays one ``random.Random`` transcendental
+call.  This module vectorizes the draws themselves with numpy — one
+``Generator`` call per broadcast — for the stationary model families.
+
+Two deliberate differences from the pure-python path:
+
+* **The random stream changes.**  Exact-RNG parity with ``random.Random``
+  is impossible for numpy's generators, so a vectorized model produces a
+  *different* (equally valid) delay sequence.  That is why the backend is
+  strictly opt-in (``SimCluster(latency_backend="numpy")``) and why every
+  reproduction scenario stays on the default python backend — artifact
+  byte-identity is preserved by never changing the default.  Parity with
+  the python samplers is asserted *in distribution* by the test suite.
+* **Determinism is still guaranteed** for a fixed cluster seed: the numpy
+  ``Generator`` is seeded once per ``random.Random`` stream from that
+  stream's own bits, so two runs with the same seed draw identical delays.
+
+``numpy`` is imported under a guard; when it is missing (or a model has no
+vectorized form — e.g. :class:`~repro.sim.latency.PairwiseLatency`),
+:func:`vectorize_latency` returns the model unchanged, falling back to the
+pure-python sampler.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from ..ids import ProcessId
+from .latency import (
+    BiasedLatency,
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    LogNormalLatency,
+    ParetoLatency,
+    RegimeShiftLatency,
+    UniformLatency,
+)
+
+try:  # guarded: numpy is optional, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via numpy_available()
+    _np = None
+
+__all__ = ["numpy_available", "vectorize_latency", "NumpyLatency"]
+
+#: draw(generator, src, dsts, now) -> ndarray of len(dsts) delays
+_DrawFn = Callable[[object, ProcessId, Sequence[ProcessId], float], "object"]
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized backend can actually run."""
+    return _np is not None
+
+
+def _compile(model: LatencyModel) -> _DrawFn | None:
+    """Build a vectorized draw function for ``model``, or ``None``.
+
+    Returns ``None`` for models with no closed-form vectorization (the
+    caller then falls back to the pure-python sampler).
+    """
+    if isinstance(model, ConstantLatency):
+        delay, jitter = model.delay, model.jitter
+        if jitter == 0.0:
+            # The pure-python path is already allocation-minimal here, but
+            # the wrapper must stay self-consistent once opted in.
+            return lambda gen, src, dsts, now: _np.full(len(dsts), delay)
+        return lambda gen, src, dsts, now: delay + gen.random(len(dsts)) * jitter
+    if isinstance(model, UniformLatency):
+        low, high = model.low, model.high
+        return lambda gen, src, dsts, now: gen.uniform(low, high, len(dsts))
+    if isinstance(model, ExponentialLatency):
+        floor, mean = model.floor, model.mean() - model.floor
+        return lambda gen, src, dsts, now: floor + gen.exponential(mean, len(dsts))
+    if isinstance(model, LogNormalLatency):
+        floor, mu, sigma = model.floor, model._mu, model.sigma
+        return lambda gen, src, dsts, now: floor + gen.lognormal(mu, sigma, len(dsts))
+    if isinstance(model, ParetoLatency):
+        # numpy's pareto() is the Lomax form: 1 + X matches
+        # random.paretovariate's classical Pareto with x_m = 1.
+        scale, shape = model.scale, model.shape
+        return lambda gen, src, dsts, now: scale * (1.0 + gen.pareto(shape, len(dsts)))
+    if isinstance(model, RegimeShiftLatency):
+        inner = _compile(model.base)
+        if inner is None:
+            return None
+        shift_at, factor = model.shift_at, model.factor
+
+        def draw(gen, src, dsts, now):
+            delays = inner(gen, src, dsts, now)
+            if now >= shift_at:
+                return delays * factor
+            return delays
+
+        return draw
+    if isinstance(model, BiasedLatency):
+        inner = _compile(model.base)
+        if inner is None:
+            return None
+        favored, speedup, bidirectional = model.favored, model.speedup, model.bidirectional
+
+        def draw(gen, src, dsts, now):
+            delays = inner(gen, src, dsts, now)
+            if src in favored:
+                return delays / speedup
+            if bidirectional:
+                mask = _np.fromiter(
+                    (dst in favored for dst in dsts), dtype=bool, count=len(dsts)
+                )
+                if mask.any():
+                    delays = _np.asarray(delays, dtype=float).copy()
+                    delays[mask] /= speedup
+            return delays
+
+        return draw
+    return None
+
+
+class NumpyLatency(LatencyModel):
+    """Wraps a latency model with a numpy-vectorized :meth:`sample_many`.
+
+    Single-message entry points (:meth:`sample` / :meth:`sample_at`)
+    delegate to the wrapped model unchanged — point-to-point sends are not
+    the hot path and keeping them on the python RNG costs nothing.
+
+    One numpy ``Generator`` is maintained per ``random.Random`` stream the
+    network hands in, seeded from that stream's next 64 bits on first use:
+    deterministic per cluster seed, independent across streams.
+    """
+
+    def __init__(self, base: LatencyModel, draw: _DrawFn) -> None:
+        self.base = base
+        self._draw = draw
+        self._generators: dict[random.Random, object] = {}
+
+    def sample(self, rng: random.Random, src: ProcessId, dst: ProcessId) -> float:
+        return self.base.sample(rng, src, dst)
+
+    def sample_at(
+        self, rng: random.Random, src: ProcessId, dst: ProcessId, now: float
+    ) -> float:
+        return self.base.sample_at(rng, src, dst, now)
+
+    def sample_many(
+        self,
+        rng: random.Random,
+        src: ProcessId,
+        dsts: Sequence[ProcessId],
+        now: float,
+    ) -> list[float]:
+        gen = self._generators.get(rng)
+        if gen is None:
+            gen = _np.random.default_rng(rng.getrandbits(64))
+            self._generators[rng] = gen
+        return self._draw(gen, src, dsts, now).tolist()
+
+    def mean(self) -> float:
+        return self.base.mean()
+
+    def __repr__(self) -> str:
+        return f"NumpyLatency({self.base!r})"
+
+
+def vectorize_latency(model: LatencyModel) -> LatencyModel:
+    """Return a numpy-vectorized wrapper for ``model``, or ``model`` itself.
+
+    The pure-python fallback (numpy missing, or no vectorized form for this
+    model family) is silent by design: opting in must never break a run,
+    only speed it up where it can.
+    """
+    if _np is None or isinstance(model, NumpyLatency):
+        return model
+    draw = _compile(model)
+    if draw is None:
+        return model
+    return NumpyLatency(model, draw)

@@ -98,9 +98,16 @@ class SimNetwork:
         if self._lossy and self._loss_rng.random() < self._loss_rate:
             self.trace.record_drop()
             return False
-        self.scheduler.schedule_after(
-            self._sample_delay(src, dst), self._deliver, src, dst, message
-        )
+        # Flattened hot path: sample + schedule without the _sample_delay /
+        # schedule_after wrappers — one response send per delivered query
+        # makes this the second-busiest site after broadcast.
+        scheduler = self.scheduler
+        delay = self.latency.sample_at(self._delay_rng, src, dst, scheduler.now)
+        if delay <= 0:
+            raise SimulationError(
+                f"latency model produced non-positive delay {delay} for {src!r}->{dst!r}"
+            )
+        scheduler.schedule_at(scheduler.now + delay, self._deliver, src, dst, message)
         self.trace.record_message(message_kind_of(message), src)
         return True
 
@@ -147,14 +154,6 @@ class SimNetwork:
         self.scheduler.schedule_batch(deliveries)
         self.trace.record_messages(message_kind_of(message), src, len(deliveries))
         return len(deliveries)
-
-    def _sample_delay(self, src: ProcessId, dst: ProcessId) -> float:
-        delay = self.latency.sample_at(self._delay_rng, src, dst, self.scheduler.now)
-        if delay <= 0:
-            raise SimulationError(
-                f"latency model produced non-positive delay {delay} for {src!r}->{dst!r}"
-            )
-        return delay
 
     # ------------------------------------------------------------------
     def _deliver(self, src: ProcessId, dst: ProcessId, message: object) -> None:

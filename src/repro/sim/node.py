@@ -82,6 +82,11 @@ class QueryDetectorCore(Protocol):
 
     Satisfied by :class:`repro.core.protocol.TimeFreeDetector` and
     :class:`repro.partial.protocol.PartialTimeFreeDetector`.
+
+    Contract: :meth:`on_response` never changes the suspect set — merging
+    happens in :meth:`on_query` (batched) and :meth:`finish_round` only.
+    Drivers and the runtime service exploit this to skip suspicion-change
+    detection on the response hot path.
     """
 
     @property
@@ -278,18 +283,30 @@ class QueryResponseDriver:
         self._maybe_arm_close()
 
     def on_message(self, src: ProcessId, message: object) -> None:
-        before = self.detector.suspects()
         if isinstance(message, Query):
-            response = self.detector.on_query(message)
-            self.process.execute(response)
+            # Only queries can move the suspicion state (the batched T2
+            # merge runs inside on_query), so the before/after snapshot is
+            # taken on this branch alone.
+            detector = self.detector
+            process = self.process
+            before = detector.suspects()
+            response = detector.on_query(message)
+            if response is not None and process.alive:
+                # on_query returns a SendTo (or None); route it straight to
+                # the network instead of through the generic effect walk.
+                process.network.send(
+                    process.pid, response.destination, response.message
+                )
+            self._note_suspicion_change(before)
         elif isinstance(message, Response):
+            # Response accounting never touches the suspect set (a
+            # QueryDetectorCore guarantee) — no snapshots, no comparison.
             self.detector.on_response(message)
             self._maybe_arm_close()
         else:
             raise SimulationError(
                 f"{self.process.pid!r} received foreign message {message!r}"
             )
-        self._note_suspicion_change(before)
 
     def _maybe_arm_close(self) -> None:
         if (
@@ -359,7 +376,10 @@ class QueryResponseDriver:
     # -- bookkeeping ---------------------------------------------------------
     def _note_suspicion_change(self, before: frozenset) -> None:
         after = self.detector.suspects()
-        if before == after:
+        # The suspect set is served from a mutation-invalidated cache, so an
+        # unchanged state hands back the *identical* frozenset — the common
+        # case is one pointer comparison, no set equality walk.
+        if before is after or before == after:
             return
         self.process.trace.record_suspicion_change(
             self.process.scheduler.now, self.process.pid, before, after

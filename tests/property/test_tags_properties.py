@@ -14,10 +14,16 @@ OWNER = 0
 PIDS = st.integers(min_value=0, max_value=6)
 TAGS = st.integers(min_value=0, max_value=30)
 
-#: One protocol-visible operation on the state.
+#: One protocol-visible operation on the state.  A mistake record about
+#: OWNER can only ever originate from OWNER's *own* refutation, tagged
+#: at-or-below its counter at that instant — a relayed ``<OWNER, tag>``
+#: mistake with an arbitrary tag is a forged record no real execution
+#: produces (and the invariant suite now flags it), so the generator only
+#: creates self-mistakes through the realistic route: a remote suspicion
+#: naming OWNER, which the state refutes itself.
 OPERATIONS = st.one_of(
     st.tuples(st.just("remote_suspicion"), PIDS, TAGS),
-    st.tuples(st.just("remote_mistake"), PIDS, TAGS),
+    st.tuples(st.just("remote_mistake"), PIDS.filter(lambda p: p != OWNER), TAGS),
     st.tuples(st.just("local_suspicion"), PIDS.filter(lambda p: p != OWNER), TAGS),
     st.tuples(st.just("end_round"), st.just(0), st.just(0)),
 )

@@ -1,0 +1,163 @@
+"""The optional numpy-vectorized latency backend.
+
+Exact-RNG parity with ``random.Random`` is impossible (and explicitly not
+promised — the backend is opt-in for that reason), so parity with the
+pure-python samplers is asserted *in distribution*: same mean within a
+tolerance comfortably above the fixed-seed sampling error, strict
+positivity, and the model-specific shape properties (floors, bias
+speedups, regime shifts).
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import latency_numpy
+from repro.sim.cluster import SimCluster, heartbeat_driver_factory
+from repro.sim.latency import (
+    BiasedLatency,
+    ConstantLatency,
+    ExponentialLatency,
+    LogNormalLatency,
+    PairwiseLatency,
+    ParetoLatency,
+    RegimeShiftLatency,
+    UniformLatency,
+)
+from repro.sim.latency_numpy import NumpyLatency, numpy_available, vectorize_latency
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed; pure-python fallback covered below"
+)
+
+N = 40_000
+DSTS = tuple(range(2, 12))  # 10 destinations per sample_many call
+
+
+def draw_many(model, *, seed=7, now=0.0, rounds=N // len(DSTS)):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(rounds):
+        out.extend(model.sample_many(rng, 1, DSTS, now))
+    return out
+
+
+def mean(xs):
+    return sum(xs) / len(xs)
+
+
+PARITY_MODELS = [
+    ConstantLatency(0.002, jitter=0.004),
+    UniformLatency(0.001, 0.009),
+    ExponentialLatency(0.003, floor=0.001),
+    LogNormalLatency(0.002, sigma=0.8, floor=0.0005),
+    ParetoLatency(0.001, shape=3.0),
+]
+
+
+class TestDistributionParity:
+    @pytest.mark.parametrize("model", PARITY_MODELS, ids=lambda m: type(m).__name__)
+    def test_mean_matches_python_sampler(self, model):
+        vectorized = vectorize_latency(model)
+        assert isinstance(vectorized, NumpyLatency)
+        python_mean = mean(draw_many(model))
+        numpy_mean = mean(draw_many(vectorized))
+        # Both fixed-seed sample means must sit near the analytic mean, so
+        # they must sit near each other: 5% is ~10 sigma for these sizes.
+        assert numpy_mean == pytest.approx(python_mean, rel=0.05)
+        assert numpy_mean == pytest.approx(model.mean(), rel=0.05)
+
+    @pytest.mark.parametrize("model", PARITY_MODELS, ids=lambda m: type(m).__name__)
+    def test_all_delays_positive(self, model):
+        delays = draw_many(vectorize_latency(model), rounds=200)
+        assert min(delays) > 0.0
+
+    def test_lognormal_spread_matches(self):
+        model = LogNormalLatency(0.002, sigma=1.0)
+        py = sorted(draw_many(model))
+        np_ = sorted(draw_many(vectorize_latency(model)))
+        # Medians agree (the lognormal's defining parameter).
+        assert np_[len(np_) // 2] == pytest.approx(py[len(py) // 2], rel=0.08)
+
+
+class TestWrapperSemantics:
+    def test_biased_speedup_applies_to_favored_destinations(self):
+        base = ConstantLatency(0.004, jitter=0.0)
+        model = BiasedLatency(base, frozenset({3}), speedup=4.0)
+        delays = vectorize_latency(model).sample_many(random.Random(1), 1, (2, 3, 4), 0.0)
+        assert delays[0] == pytest.approx(0.004)
+        assert delays[1] == pytest.approx(0.001)
+        assert delays[2] == pytest.approx(0.004)
+
+    def test_biased_favored_sender_accelerates_everything(self):
+        base = ConstantLatency(0.004, jitter=0.0)
+        model = BiasedLatency(base, frozenset({1}), speedup=2.0)
+        delays = vectorize_latency(model).sample_many(random.Random(1), 1, (2, 3), 0.0)
+        assert delays == pytest.approx([0.002, 0.002])
+
+    def test_regime_shift_scales_after_the_shift(self):
+        base = ConstantLatency(0.002, jitter=0.0)
+        model = RegimeShiftLatency(base, shift_at=10.0, factor=5.0)
+        vectorized = vectorize_latency(model)
+        before = vectorized.sample_many(random.Random(1), 1, (2,), 9.9)
+        after = vectorized.sample_many(random.Random(1), 1, (2,), 10.0)
+        assert before[0] == pytest.approx(0.002)
+        assert after[0] == pytest.approx(0.010)
+
+    def test_single_message_entry_points_delegate_to_base(self):
+        model = ExponentialLatency(0.003)
+        vectorized = vectorize_latency(model)
+        a = model.sample(random.Random(5), 1, 2)
+        b = vectorized.sample(random.Random(5), 1, 2)
+        assert a == b
+
+    def test_same_seed_draws_identical_sequences(self):
+        model = vectorize_latency(ExponentialLatency(0.003))
+        assert draw_many(model, rounds=50) == draw_many(model, rounds=50)
+
+    def test_unsupported_model_falls_back_unchanged(self):
+        model = PairwiseLatency(ConstantLatency(0.001), {})
+        assert vectorize_latency(model) is model
+
+    def test_vectorizing_twice_is_idempotent(self):
+        model = vectorize_latency(ExponentialLatency(0.003))
+        assert vectorize_latency(model) is model
+
+    def test_fallback_when_numpy_missing(self, monkeypatch):
+        monkeypatch.setattr(latency_numpy, "_np", None)
+        model = ExponentialLatency(0.003)
+        assert vectorize_latency(model) is model
+        assert not numpy_available()
+
+
+class TestClusterOptIn:
+    def test_numpy_backend_wraps_the_cluster_latency(self):
+        cluster = SimCluster(
+            n=5,
+            driver_factory=heartbeat_driver_factory(period=0.5, timeout=1.5),
+            latency=ExponentialLatency(0.001),
+            seed=3,
+            latency_backend="numpy",
+        )
+        assert isinstance(cluster.latency, NumpyLatency)
+        cluster.run(until=5.0)
+        assert all(cluster.suspects_of(pid) == frozenset() for pid in range(1, 6))
+
+    def test_default_backend_leaves_the_model_alone(self):
+        model = ExponentialLatency(0.001)
+        cluster = SimCluster(
+            n=3,
+            driver_factory=heartbeat_driver_factory(period=0.5, timeout=1.5),
+            latency=model,
+            seed=3,
+        )
+        assert cluster.latency is model
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimCluster(
+                n=3,
+                driver_factory=heartbeat_driver_factory(),
+                latency_backend="fortran",
+            )

@@ -215,3 +215,68 @@ class TestCrashRefutationCycle:
         stale = Query(sender=2, round_id=99, suspected=((3, 0),), mistakes=())
         detectors[1].on_query(stale)
         assert detectors[1].suspects() == frozenset()
+
+
+class TestHotPathCaches:
+    """PR 4: cached config sweeps and the allocation-free steady state."""
+
+    def test_members_and_peers_sorted_are_cached_and_correct(self):
+        config = DetectorConfig.for_process(2, [3, 1, 2], f=1)
+        assert config.members_sorted == tuple(sorted({1, 2, 3}, key=repr))
+        assert config.peers_sorted == tuple(
+            p for p in config.members_sorted if p != 2
+        )
+        # Same tuple object on every access: computed once at construction.
+        assert config.members_sorted is config.members_sorted
+        assert config.peers_sorted is config.peers_sorted
+
+    def test_query_snapshot_is_reused_across_quiet_rounds(self):
+        detectors = make_detectors(3, f=2)
+        d1 = detectors[1]
+        d1.state.suspected.add(3, 1)
+        first = d1.start_round().message
+        d1.on_response(Response(sender=2, round_id=1))
+        d1.on_response(Response(sender=3, round_id=1))
+        d1.finish_round()
+        second = d1.start_round().message
+        # No suspicion churn between rounds: the embedded snapshot tuple is
+        # the cached object, not a re-sorted copy.
+        assert second.suspected is first.suspected
+
+    def test_steady_state_on_query_allocates_no_merge_results(self, monkeypatch):
+        from repro.core import tags
+
+        detectors = make_detectors(4, f=1)
+        d1, d2 = detectors[1], detectors[2]
+        d1.state.suspected.add(3, 2)
+        d1.state.mistakes.add(4, 2)
+        d1.state.counter = 5
+        d2.state.suspected.add(3, 2)
+        d2.state.mistakes.add(4, 2)
+        d2.state.counter = 5
+        query = d1.start_round().message
+
+        def tripwire(*args, **kwargs):
+            raise AssertionError("steady-state on_query allocated a MergeResult")
+
+        monkeypatch.setattr(tags, "MergeResult", tripwire)
+        effect = d2.on_query(query)
+        assert isinstance(effect, SendTo)
+        assert effect.destination == 1
+
+    def test_on_query_merges_batched_like_the_oracle(self):
+        # End-to-end sanity: a mixed fresh/stale payload through on_query
+        # lands exactly where the per-record oracle puts it.
+        detectors = make_detectors(5, f=1)
+        d2 = detectors[2]
+        d2.state.suspected.add(4, 1)
+        query = Query(
+            sender=1,
+            round_id=1,
+            suspected=((3, 7), (4, 1)),   # 3 fresh, 4 stale
+            mistakes=((4, 1), (5, 2)),    # 4 ties-beats-suspicion, 5 fresh
+        )
+        d2.on_query(query)
+        assert d2.suspects() == frozenset({3})
+        assert d2.mistakes() == frozenset({4, 5})
+        assert d2.state.mistakes.tag_of(4) == 1

@@ -6,7 +6,8 @@ down.
 
 import pytest
 
-from repro.core.tags import MergeOutcome, SuspicionState, TaggedSet
+from repro.core import tags
+from repro.core.tags import EMPTY_DELTA, MergeDelta, MergeOutcome, SuspicionState, TaggedSet
 
 
 class TestTaggedSet:
@@ -222,6 +223,123 @@ class TestRemoteMistakeMerge:
         assert state.mistakes.tag_of(4) == 6
 
 
+class TestTaggedSetCaching:
+    """The snapshot/ids caches and the version counter behind them."""
+
+    def test_snapshot_is_cached_between_mutations(self):
+        ts = TaggedSet([("b", 2), ("a", 1)])
+        assert ts.snapshot() is ts.snapshot()
+        assert ts.ids() is ts.ids()
+
+    def test_mutation_invalidates_the_caches(self):
+        ts = TaggedSet([("a", 1)])
+        snap, ids = ts.snapshot(), ts.ids()
+        ts.add("b", 2)
+        assert ts.snapshot() == (("a", 1), ("b", 2))
+        assert ts.ids() == frozenset({"a", "b"})
+        assert snap == (("a", 1),)  # old tuple untouched
+        assert ids == frozenset({"a"})
+
+    def test_version_bumps_only_on_effective_change(self):
+        ts = TaggedSet()
+        v0 = ts.version
+        ts.add("a", 1)
+        v1 = ts.version
+        assert v1 > v0
+        ts.add("a", 1)  # identical record: not a mutation
+        assert ts.version == v1
+        snap = ts.snapshot()
+        ts.add("a", 1)
+        assert ts.snapshot() is snap
+        ts.add("a", 2)  # tag replacement is a mutation
+        assert ts.version > v1
+
+    def test_discard_and_clear_bump_only_when_present(self):
+        ts = TaggedSet([("a", 1)])
+        v = ts.version
+        assert ts.discard("missing") is False
+        assert ts.version == v
+        assert ts.discard("a") is True
+        assert ts.version > v
+        v = ts.version
+        ts.clear()  # already empty: no-op
+        assert ts.version == v
+
+    def test_iteration_uses_the_cached_order(self):
+        ts = TaggedSet([(3, 1), (1, 2), (2, 3)])
+        assert list(ts) == list(ts.snapshot())
+
+
+class TestBatchedMerges:
+    """merge_query / merge_remote_suspicions / merge_remote_mistakes."""
+
+    def _steady_state(self):
+        state = SuspicionState(owner=1)
+        for pid in (2, 3, 4):
+            state.suspected.add(pid, 5)
+        for pid in (5, 6):
+            state.mistakes.add(pid, 5)
+        state.counter = 10
+        return state
+
+    def test_all_stale_batch_returns_the_empty_singleton(self):
+        state = self._steady_state()
+        delta = state.merge_query(
+            state.suspected.snapshot(), state.mistakes.snapshot()
+        )
+        assert delta is EMPTY_DELTA
+        assert not delta
+
+    def test_steady_state_merge_allocates_no_merge_results(self, monkeypatch):
+        # The acceptance check of the batched fast path: with every record
+        # stale, not a single MergeResult may be constructed.  Replacing the
+        # class with a tripwire makes any construction explode.
+        state = self._steady_state()
+        suspected = state.suspected.snapshot()
+        mistakes = state.mistakes.snapshot()
+
+        def tripwire(*args, **kwargs):
+            raise AssertionError("batched merge allocated a MergeResult")
+
+        monkeypatch.setattr(tags, "MergeResult", tripwire)
+        delta = state.merge_query(suspected, mistakes)
+        assert delta is EMPTY_DELTA
+
+    def test_adoption_is_reported_in_record_order(self):
+        state = SuspicionState(owner=1)
+        delta = state.merge_query(((3, 4), (2, 1)), ((4, 2),))
+        assert delta.suspicions_adopted == (3, 2)
+        assert delta.mistakes_adopted == (4,)
+        assert not delta.self_refuted
+        assert bool(delta)
+
+    def test_self_refutation_sets_the_flag_not_the_adoption_list(self):
+        state = SuspicionState(owner=1)
+        state.counter = 2
+        delta = state.merge_query(((1, 10),), ())
+        assert delta.self_refuted
+        assert delta.suspicions_adopted == ()
+        assert state.counter == 11
+        assert state.mistakes.tag_of(1) == 11
+        assert 1 not in state.suspected
+
+    def test_convenience_wrappers_touch_only_their_stream(self):
+        state = SuspicionState(owner=1)
+        sus_delta = state.merge_remote_suspicions(((2, 3),))
+        assert sus_delta == MergeDelta(suspicions_adopted=(2,))
+        mis_delta = state.merge_remote_mistakes(((2, 4),))
+        assert mis_delta == MergeDelta(mistakes_adopted=(2,))
+        assert state.mistakes.tag_of(2) == 4
+
+    def test_tie_within_one_batch_goes_to_the_mistake(self):
+        state = SuspicionState(owner=1)
+        delta = state.merge_query(((2, 5),), ((2, 5),))
+        assert 2 not in state.suspected
+        assert state.mistakes.tag_of(2) == 5
+        assert delta.suspicions_adopted == (2,)
+        assert delta.mistakes_adopted == (2,)
+
+
 class TestInvariants:
     def test_fresh_state_is_healthy(self):
         assert SuspicionState(owner=1).invariant_violations() == []
@@ -236,3 +354,26 @@ class TestInvariants:
         state = SuspicionState(owner=1)
         state.suspected.add(1, 1)
         assert any("suspects itself" in p for p in state.invariant_violations())
+
+    def test_self_mistake_tag_ahead_of_counter_is_reported(self):
+        # The third documented check (previously unimplemented): a mistake
+        # record about the local process is always authored locally at the
+        # then-current counter, so a tag above counter_i is a corrupt state.
+        state = SuspicionState(owner=1)
+        state.mistakes.add(1, 7)
+        state.counter = 3
+        assert any("self-mistake" in p for p in state.invariant_violations())
+
+    def test_self_mistake_at_or_below_counter_is_healthy(self):
+        state = SuspicionState(owner=1)
+        state.merge_remote_suspicion(1, 6)  # refutes: counter 7, tag 7
+        assert state.invariant_violations() == []
+
+    def test_remote_tags_may_exceed_the_local_counter(self):
+        # Tags about OTHER processes are issued against the remote counter
+        # and legitimately run ahead of ours — not a violation.
+        state = SuspicionState(owner=1)
+        state.merge_remote_suspicion(2, 50)
+        state.merge_remote_mistake(3, 60)
+        assert state.counter == 0
+        assert state.invariant_violations() == []
