@@ -2,10 +2,16 @@
 
 One module per experiment id (see DESIGN.md Section 3).  Each exposes a
 ``Params`` dataclass (with quick defaults; pass ``full()`` presets for
-paper-scale runs), a declarative grid ``SPEC``
-(:class:`~repro.harness.spec.ScenarioSpec`: ``cells``/``run_cell``/
-``tabulate``), and a ``run(params) -> Table`` convenience wrapper that
-evaluates the grid sequentially.
+paper-scale runs), a declarative ``SPEC``
+(:class:`~repro.experiments.api.ExperimentSpec`: generic axes +
+``run_cell`` + metrics + ``tabulate``) registered with the
+:mod:`repro.experiments.api` plugin registry at import, and a
+``run(params) -> Table`` convenience wrapper that evaluates the grid
+sequentially.  The registry is what ``repro run``/``repro experiments``,
+``run_all`` and CI iterate; a new in-repo experiment is one
+``register_experiment`` call plus one ``_BUILTIN_MODULES`` entry away
+from all of them (conformance-tested), and external plugins need only
+import before use.
 
 ``python -m repro run t1 e2 --workers 8 --out results/`` evaluates grids
 on a process pool with content-hash caching and writes ``BENCH_<ID>.json``

@@ -25,14 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..harness.runner import run_grid
-from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats, mistake_stats
 from ..sim.faults import CrashFault, FaultPlan
 from ..sim.latency import LogNormalLatency
+from .api import ExperimentSpec, Metric, ParamAxis, register_experiment
 from .report import Table
 from .scenarios import run_scenario, setup_for
 
-__all__ = ["A1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+__all__ = ["A1Params", "SPEC", "run_cell", "tabulate", "run"]
 
 
 @dataclass(frozen=True)
@@ -53,10 +53,6 @@ class A1Params:
     @classmethod
     def full(cls) -> "A1Params":
         return cls(n=30, f=6, graces=(0.0, 0.005, 0.02, 0.1, 0.3, 1.0, 2.0))
-
-
-def cells(params: A1Params) -> list[dict]:
-    return [{"grace": grace} for grace in params.graces]
 
 
 def run_cell(params: A1Params, coords: dict, seed: int) -> dict:
@@ -122,13 +118,22 @@ def tabulate(params: A1Params, values: list[dict]) -> Table:
     return table
 
 
-SPEC = ScenarioSpec(
-    exp_id="a1",
-    title="query-pacing grace Δ ablation",
-    params_cls=A1Params,
-    cells=cells,
-    run_cell=run_cell,
-    tabulate=tabulate,
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="a1",
+        title="query-pacing grace Δ ablation",
+        params_cls=A1Params,
+        axes=(ParamAxis("grace", field="graces"),),
+        run_cell=run_cell,
+        metrics=(
+            Metric("false_suspicions", "wrong suspicion intervals among correct pairs"),
+            Metric("unresolved", "pairs still wrongly suspected at the horizon"),
+            Metric("detect_mean", "mean crash-detection latency (s)"),
+            Metric("detect_max", "max crash-detection latency (s)"),
+            Metric("rounds_per_process", "completed query rounds per process"),
+        ),
+        tabulate=tabulate,
+    )
 )
 
 

@@ -21,13 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..harness.runner import run_grid
-from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats
 from ..sim.faults import CrashFault, FaultPlan
+from .api import ExperimentSpec, Metric, ParamAxis, register_experiment
 from .report import Table
 from .scenarios import run_scenario, setup_for
 
-__all__ = ["A2Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+__all__ = ["A2Params", "SPEC", "run_cell", "tabulate", "run"]
 
 
 @dataclass(frozen=True)
@@ -46,14 +46,6 @@ class A2Params:
     @classmethod
     def full(cls) -> "A2Params":
         return cls(n=20, f=4, loss_rates=(0.0, 0.05, 0.1, 0.2, 0.3, 0.4))
-
-
-def cells(params: A2Params) -> list[dict]:
-    return [
-        {"loss": loss, "retry": retry}
-        for loss in params.loss_rates
-        for retry in params.retry_settings
-    ]
 
 
 def run_cell(params: A2Params, coords: dict, seed: int) -> dict:
@@ -104,7 +96,7 @@ def tabulate(params: A2Params, values: list[dict]) -> Table:
             "crash detected by",
         ],
     )
-    for coords, value in zip(cells(params), values):
+    for coords, value in zip(SPEC.cells(params), values):
         table.add_row(
             coords["loss"],
             coords["retry"] if coords["retry"] is not None else "off",
@@ -120,13 +112,21 @@ def tabulate(params: A2Params, values: list[dict]) -> Table:
     return table
 
 
-SPEC = ScenarioSpec(
-    exp_id="a2",
-    title="message loss vs round liveness (retry ablation)",
-    params_cls=A2Params,
-    cells=cells,
-    run_cell=run_cell,
-    tabulate=tabulate,
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="a2",
+        title="message loss vs round liveness (retry ablation)",
+        params_cls=A2Params,
+        axes=(ParamAxis("loss", field="loss_rates"), ParamAxis("retry", field="retry_settings")),
+        run_cell=run_cell,
+        metrics=(
+            Metric("frozen", "correct processes whose rounds stalled"),
+            Metric("rounds_per_process", "completed query rounds per process"),
+            Metric("retransmissions", "driver-level retries sent"),
+            Metric("detected_by", "observers that detected the crash / correct"),
+        ),
+        tabulate=tabulate,
+    )
 )
 
 

@@ -18,16 +18,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..harness.runner import run_grid
-from ..harness.spec import ScenarioSpec
 from ..metrics import all_detection_stats
 from ..partial import validate_f_covering
 from ..sim.faults import uniform_crashes
 from ..sim.rng import RngStreams
 from ..sim.topology import manet_topology
+from .api import (
+    DetectorAxis,
+    ExperimentSpec,
+    Metric,
+    ParamAxis,
+    TrialAxis,
+    register_experiment,
+)
 from .report import Table
 from .scenarios import run_scenario, setup_for
 
-__all__ = ["E1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+__all__ = ["E1Params", "SPEC", "run_cell", "tabulate", "run"]
 
 #: legacy table labels for the default comparison pair
 _LABELS = {"partial": "time-free (async)", "gossip": "Friedman-Tcharny"}
@@ -71,15 +78,6 @@ def _build_topology(params: E1Params, target_density: int, attempt_seed: int):
     )
     validate_f_covering(topology, params.f)
     return topology
-
-
-def cells(params: E1Params) -> list[dict]:
-    return [
-        {"target_d": target, "trial": trial, "detector": detector}
-        for target in params.densities
-        for trial in range(params.trials)
-        for detector in params.detectors
-    ]
 
 
 def run_cell(params: E1Params, coords: dict, seed: int) -> dict:
@@ -139,7 +137,7 @@ def tabulate(params: E1Params, values: list[dict]) -> Table:
     )
     grouped: dict[tuple[int, str], dict] = {}
     densities_by_target: dict[int, list[int]] = {}
-    for coords, value in zip(cells(params), values):
+    for coords, value in zip(SPEC.cells(params), values):
         key = (coords["target_d"], coords["detector"])
         group = grouped.setdefault(key, {"latencies": [], "undetected": 0})
         group["latencies"].extend(value["latencies"])
@@ -170,13 +168,20 @@ def tabulate(params: E1Params, values: list[dict]) -> Table:
     return table
 
 
-SPEC = ScenarioSpec(
-    exp_id="e1",
-    title="detection time vs range density on f-covering MANETs",
-    params_cls=E1Params,
-    cells=cells,
-    run_cell=run_cell,
-    tabulate=tabulate,
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="e1",
+        title="detection time vs range density on f-covering MANETs",
+        params_cls=E1Params,
+        axes=(ParamAxis("target_d", field="densities"), TrialAxis(), DetectorAxis()),
+        run_cell=run_cell,
+        metrics=(
+            Metric("actual_d", "range density of the built topology"),
+            Metric("latencies", "pooled per-observer detection latencies (s)"),
+            Metric("undetected", "(observer, crash) pairs never detected"),
+        ),
+        tabulate=tabulate,
+    )
 )
 
 

@@ -25,16 +25,16 @@ import math
 
 from ..errors import ExperimentError
 from ..harness.runner import run_grid
-from ..harness.spec import ScenarioSpec
 from ..metrics import false_suspicion_series
 from ..partial import validate_mobility_scenario
 from ..sim.faults import FaultPlan, MobilityFault
 from ..sim.rng import RngStreams
 from ..sim.topology import Topology, manet_topology
+from .api import ExperimentSpec, FixedAxis, Metric, register_experiment
 from .report import Table
 from .scenarios import run_scenario, setup_for
 
-__all__ = ["E2Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+__all__ = ["E2Params", "SPEC", "run_cell", "tabulate", "run"]
 
 _VARIANTS = {"alg2": "algorithm 2", "no-eviction": "ablation: no eviction"}
 
@@ -117,10 +117,6 @@ def _sample_times(params: E2Params) -> list[float]:
     return [t for t in times if 0 <= t <= params.horizon]
 
 
-def cells(params: E2Params) -> list[dict]:
-    return [{"variant": variant} for variant in _VARIANTS]
-
-
 def run_cell(params: E2Params, coords: dict, seed: int) -> dict:
     # The mobility restrictions (Section 6.2) are satisfied by the params'
     # own seed schedule; both variants must replay the *same* scenario, so
@@ -159,7 +155,9 @@ def run_cell(params: E2Params, coords: dict, seed: int) -> dict:
 
 
 def tabulate(params: E2Params, values: list[dict]) -> Table:
-    by_variant = dict(zip((coords["variant"] for coords in cells(params)), values))
+    by_variant = dict(
+        zip((coords["variant"] for coords in SPEC.cells(params)), values)
+    )
     reference = by_variant["alg2"]
     table = Table(
         title=(
@@ -186,13 +184,20 @@ def tabulate(params: E2Params, values: list[dict]) -> Table:
     return table
 
 
-SPEC = ScenarioSpec(
-    exp_id="e2",
-    title="false-suspicion transient under mobility",
-    params_cls=E2Params,
-    cells=cells,
-    run_cell=run_cell,
-    tabulate=tabulate,
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="e2",
+        title="false-suspicion transient under mobility",
+        params_cls=E2Params,
+        axes=(FixedAxis("variant", values=tuple(_VARIANTS)),),
+        run_cell=run_cell,
+        metrics=(
+            Metric("mover", "the detaching/reattaching process id"),
+            Metric("d", "range density of the built topology"),
+            Metric("series", "[time, wrongly-suspecting pair count] samples"),
+        ),
+        tabulate=tabulate,
+    )
 )
 
 

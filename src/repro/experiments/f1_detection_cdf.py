@@ -15,13 +15,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..harness.runner import run_grid
-from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats
 from ..sim.faults import CrashFault, FaultPlan
+from .api import (
+    DetectorAxis,
+    ExperimentSpec,
+    Metric,
+    TrialAxis,
+    per_detector_headers,
+    register_experiment,
+)
 from .report import Table
 from .scenarios import run_scenario, setup_for
 
-__all__ = ["F1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+__all__ = ["F1Params", "SPEC", "run_cell", "tabulate", "run"]
 
 
 @dataclass(frozen=True)
@@ -39,14 +46,6 @@ class F1Params:
     @classmethod
     def full(cls) -> "F1Params":
         return cls(n=30, f=6, trials=50)
-
-
-def cells(params: F1Params) -> list[dict]:
-    return [
-        {"detector": detector, "trial": trial}
-        for detector in params.detectors
-        for trial in range(params.trials)
-    ]
 
 
 def run_cell(params: F1Params, coords: dict, seed: int) -> dict:
@@ -75,7 +74,7 @@ def _quantile(sorted_values: list[float], q: float) -> float | None:
 
 def tabulate(params: F1Params, values: list[dict]) -> Table:
     pooled: dict[str, list[float]] = {detector: [] for detector in params.detectors}
-    for coords, value in zip(cells(params), values):
+    for coords, value in zip(SPEC.cells(params), values):
         pooled[coords["detector"]].extend(value["latencies"])
     series = {detector: sorted(pooled[detector]) for detector in params.detectors}
     table = Table(
@@ -83,7 +82,7 @@ def tabulate(params: F1Params, values: list[dict]) -> Table:
             f"F1: detection-time distribution (n={params.n}, f={params.f}, "
             f"{params.trials} trials pooled)"
         ),
-        headers=["quantile", *(f"{detector} (s)" for detector in params.detectors)],
+        headers=["quantile", *per_detector_headers(params.detectors)],
     )
     for q in params.quantiles:
         table.add_row(
@@ -96,13 +95,18 @@ def tabulate(params: F1Params, values: list[dict]) -> Table:
     return table
 
 
-SPEC = ScenarioSpec(
-    exp_id="f1",
-    title="distribution (CDF) of crash detection time",
-    params_cls=F1Params,
-    cells=cells,
-    run_cell=run_cell,
-    tabulate=tabulate,
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="f1",
+        title="distribution (CDF) of crash detection time",
+        params_cls=F1Params,
+        axes=(DetectorAxis(), TrialAxis()),
+        run_cell=run_cell,
+        metrics=(
+            Metric("latencies", "sorted per-observer detection latencies of the crash (s)"),
+        ),
+        tabulate=tabulate,
+    )
 )
 
 

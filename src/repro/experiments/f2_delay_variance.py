@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..harness.runner import run_cells, run_grid
-from ..harness.spec import ScenarioSpec
 from ..metrics import accuracy_stabilization, mistake_stats
 from ..sim.latency import (
     BiasedLatency,
@@ -35,13 +34,21 @@ from ..sim.latency import (
     LogNormalLatency,
     RegimeShiftLatency,
 )
+from .api import (
+    ConstAxis,
+    DetectorAxis,
+    ExperimentSpec,
+    Metric,
+    ParamAxis,
+    Section,
+    register_experiment,
+)
 from .report import Table
 from .scenarios import DetectorSetup, run_scenario, setup_for
 
 __all__ = [
     "F2Params",
     "SPEC",
-    "cells",
     "run_cell",
     "tabulate",
     "run",
@@ -101,26 +108,6 @@ def _biased(params: F2Params, base: LatencyModel) -> LatencyModel:
         speedup=params.responsive_speedup,
         bidirectional=True,
     )
-
-
-def _shift_cells(params: F2Params) -> list[dict]:
-    return [
-        {"sweep": "shift", "stress": factor, "detector": detector}
-        for factor in params.shift_factors
-        for detector in params.detectors
-    ]
-
-
-def _sigma_cells(params: F2Params) -> list[dict]:
-    return [
-        {"sweep": "sigma", "stress": sigma, "detector": detector}
-        for sigma in params.sigmas
-        for detector in params.detectors
-    ]
-
-
-def cells(params: F2Params) -> list[dict]:
-    return _shift_cells(params) + _sigma_cells(params)
 
 
 def run_cell(params: F2Params, coords: dict, seed: int) -> dict:
@@ -191,7 +178,10 @@ def _shift_table(params: F2Params, values: list[dict]) -> Table:
         ),
         headers=_headers(),
     )
-    _fill(table, params, _shift_cells(params), values, lambda stress: f"x{stress:g}")
+    _fill(
+        table, params, SPEC.section_cells("shift", params), values,
+        lambda stress: f"x{stress:g}",
+    )
     table.add_note(
         "delay rescaling preserves response order: the time-free detector "
         "never suspects the responsive node at any factor; fixed timeouts "
@@ -214,33 +204,64 @@ def _sigma_table(params: F2Params, values: list[dict]) -> Table:
         ),
         headers=_headers(),
     )
-    return _fill(table, params, _sigma_cells(params), values, lambda stress: f"σ={stress:g}")
+    return _fill(
+        table, params, SPEC.section_cells("sigma", params), values,
+        lambda stress: f"σ={stress:g}",
+    )
 
 
 def tabulate(params: F2Params, values: list[dict]) -> list[Table]:
-    split = len(_shift_cells(params))
+    split = len(SPEC.section_cells("shift", params))
     return [
         _shift_table(params, values[:split]),
         _sigma_table(params, values[split:]),
     ]
 
 
-SPEC = ScenarioSpec(
-    exp_id="f2",
-    title="accuracy under asynchrony (regime shift + variance sweep)",
-    params_cls=F2Params,
-    cells=cells,
-    run_cell=run_cell,
-    tabulate=tabulate,
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="f2",
+        title="accuracy under asynchrony (regime shift + variance sweep)",
+        params_cls=F2Params,
+        axes=(
+            Section(
+                name="shift",
+                axes=(
+                    ConstAxis("sweep", value="shift"),
+                    ParamAxis("stress", field="shift_factors"),
+                    DetectorAxis(),
+                ),
+            ),
+            Section(
+                name="sigma",
+                axes=(
+                    ConstAxis("sweep", value="sigma"),
+                    ParamAxis("stress", field="sigmas"),
+                    DetectorAxis(),
+                ),
+            ),
+        ),
+        run_cell=run_cell,
+        metrics=(
+            Metric("total", "false suspicions among all correct pairs"),
+            Metric("responsive", "false suspicions of the responsive (anchor) node"),
+            Metric("anchor_ok", "responsive node unsuspected at the horizon"),
+        ),
+        tabulate=tabulate,
+    )
 )
 
 
 def run_regime_shift(params: F2Params = F2Params()) -> Table:
-    return _shift_table(params, run_cells(SPEC, params, _shift_cells(params)))
+    return _shift_table(
+        params, run_cells(SPEC, params, SPEC.section_cells("shift", params))
+    )
 
 
 def run_variance_sweep(params: F2Params = F2Params()) -> Table:
-    return _sigma_table(params, run_cells(SPEC, params, _sigma_cells(params)))
+    return _sigma_table(
+        params, run_cells(SPEC, params, SPEC.section_cells("sigma", params))
+    )
 
 
 def run(params: F2Params = F2Params()) -> list[Table]:

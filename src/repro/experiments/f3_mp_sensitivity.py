@@ -20,13 +20,13 @@ from dataclasses import dataclass
 
 from ..core.properties import find_mp_witness, winning_ratio
 from ..harness.runner import run_grid
-from ..harness.spec import ScenarioSpec
 from ..metrics import accuracy_stabilization
 from ..sim.latency import BiasedLatency, LogNormalLatency
+from .api import ExperimentSpec, Metric, ParamAxis, register_experiment
 from .report import Table
 from .scenarios import run_scenario, setup_for
 
-__all__ = ["F3Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+__all__ = ["F3Params", "SPEC", "run_cell", "tabulate", "run"]
 
 
 @dataclass(frozen=True)
@@ -51,10 +51,6 @@ class F3Params:
         return cls(
             n=12, f=5, speedups=(8.0, 4.0, 2.0, 1.5, 1.0, 0.7, 0.5), horizon=60.0
         )
-
-
-def cells(params: F3Params) -> list[dict]:
-    return [{"speedup": speedup} for speedup in params.speedups]
 
 
 def run_cell(params: F3Params, coords: dict, seed: int) -> dict:
@@ -127,13 +123,21 @@ def tabulate(params: F3Params, values: list[dict]) -> Table:
     return table
 
 
-SPEC = ScenarioSpec(
-    exp_id="f3",
-    title="accuracy vs message-pattern (MP) strength",
-    params_cls=F3Params,
-    cells=cells,
-    run_cell=run_cell,
-    tabulate=tabulate,
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="f3",
+        title="accuracy vs message-pattern (MP) strength",
+        params_cls=F3Params,
+        axes=(ParamAxis("speedup", field="speedups"),),
+        run_cell=run_cell,
+        metrics=(
+            Metric("ratio", "favored process's measured round winning ratio"),
+            Metric("mp_holds", "MP oracle certifies the run for the favored process"),
+            Metric("suspicions", "times the favored process was falsely suspected"),
+            Metric("stable", "favored process unsuspected by the horizon"),
+        ),
+        tabulate=tabulate,
+    )
 )
 
 

@@ -1,0 +1,172 @@
+"""Q1 — QoS comparison: detection time vs accuracy across *all* detectors.
+
+The Chen-Toueg-Aguilera QoS study asks the question the per-family
+experiments dodge: on one common grid, how does every registered detector
+trade crash-detection speed against query accuracy?  Each cell deploys one
+registry family on the same full-mesh scenario (one crash mid-run) and
+reports the two QoS axes of Chen's scatter plot — detection time
+(``T_D``) and accuracy (mistake rate ``λ_M`` / query accuracy probability
+``P_A``) — plus the message load the family pays for them.
+
+This is the first experiment written directly against the declarative
+:mod:`repro.experiments.api`: the detector axis defaults to **every**
+registered family (``detector_keys()``), so registering a new family —
+crash-recovery, ADD-channel ◇P, system-level diagnosis — adds it to this
+comparison with zero code changes here.  Families that require extra
+deployment context declare it on their spec (``required``); the only such
+knob today is the partial detector's range density ``d``, which a full
+mesh pins to ``n`` (every range is the whole system).
+
+Expected shape: the timer families' detection time tracks their timeout
+(Θ-bound), the query families track Δ + δ; accuracy is ≈ 1.0 for everyone
+on calm exponential delays — the interesting spread appears under ``-p``
+stress (e.g. ``repro run q1 -p delay_sigma=2.0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..detectors import detector_keys, get_detector
+from ..harness.runner import run_grid
+from ..metrics import detection_stats, message_load, mistake_stats
+from ..sim.faults import CrashFault, FaultPlan
+from ..sim.latency import LogNormalLatency
+from .api import (
+    DetectorAxis,
+    ExperimentSpec,
+    Metric,
+    TrialAxis,
+    group_values,
+    register_experiment,
+    stat_mean,
+)
+from .report import Table
+from .scenarios import run_scenario, setup_for
+
+__all__ = ["Q1Params", "SPEC", "run_cell", "tabulate", "run"]
+
+
+def _all_detectors() -> tuple[str, ...]:
+    return tuple(detector_keys())
+
+
+@dataclass(frozen=True)
+class Q1Params:
+    n: int = 20
+    f: int = 4
+    #: registry keys under comparison — defaults to every registered family
+    detectors: tuple[str, ...] = field(default_factory=_all_detectors)
+    trials: int = 3
+    crash_at: float = 20.0
+    horizon: float = 40.0
+    #: log-normal one-hop delays; raise sigma to spread the accuracy axis
+    delay_median: float = 0.001
+    delay_sigma: float = 0.5
+    seed: int = 1
+
+    @classmethod
+    def full(cls) -> "Q1Params":
+        return cls(n=40, f=8, trials=10, crash_at=30.0, horizon=80.0)
+
+
+def run_cell(params: Q1Params, coords: dict, seed: int) -> dict:
+    detector = coords["detector"]
+    victim = params.n  # symmetric under full mesh
+    setup = setup_for(detector)
+    if "d" in get_detector(detector).required:
+        # Full mesh: every range is the whole system, so the density is n.
+        setup = setup.with_(d=params.n)
+    plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
+    cluster = run_scenario(
+        setup=setup,
+        n=params.n,
+        f=params.f,
+        horizon=params.horizon,
+        latency=LogNormalLatency(params.delay_median, params.delay_sigma),
+        fault_plan=plan,
+        seed=seed,
+    )
+    correct = cluster.correct_processes()
+    crash = detection_stats(cluster.trace, victim, params.crash_at, correct)
+    mistakes = mistake_stats(cluster.trace, correct, horizon=params.horizon)
+    # With one survivor there are no monitored pairs and no accuracy to
+    # speak of (n=2, f=1 is a legal grid) — report None, not a crash.
+    pairs = len(correct) * (len(correct) - 1)
+    load = message_load(cluster.trace, horizon=params.horizon, n=params.n)
+    return {
+        "detect_mean": crash.mean_latency,
+        "detect_max": crash.max_latency,
+        "detected_by": len(crash.latencies),
+        # Chen's lambda_M, normalised per monitored pair (per second).
+        "mistake_rate": mistakes.count / params.horizon / pairs if pairs else None,
+        # Chen's P_A: fraction of pair-time the output was correct.
+        "query_accuracy": (
+            1.0 - mistakes.total_duration / (params.horizon * pairs) if pairs else None
+        ),
+        "msgs_per_s": load["total"],
+    }
+
+
+def tabulate(params: Q1Params, values: list[dict]) -> Table:
+    table = Table(
+        title=(
+            f"Q1: QoS comparison — detection time vs query accuracy "
+            f"(n={params.n}, f={params.f}, 1 crash, {params.trials} trials)"
+        ),
+        headers=[
+            "detector",
+            "detect mean (s)",
+            "detect max (s)",
+            "false susp. /pair/min",
+            "query accuracy P_A",
+            "msgs/s/process",
+        ],
+        precision=4,
+    )
+    grouped = group_values(SPEC.cells(params), values, "detector")
+    for detector in params.detectors:
+        trials = grouped[(detector,)]
+        detected = [v for v in trials if v["detect_mean"] is not None]
+        monitored = [v for v in trials if v["mistake_rate"] is not None]
+        table.add_row(
+            setup_for(detector).label,
+            stat_mean(v["detect_mean"] for v in detected),
+            stat_mean(v["detect_max"] for v in detected),
+            stat_mean(v["mistake_rate"] * 60.0 for v in monitored),
+            stat_mean(v["query_accuracy"] for v in monitored),
+            stat_mean(v["msgs_per_s"] for v in trials),
+        )
+    table.add_note(
+        "T_D from the crash at t="
+        f"{params.crash_at:g}s; λ_M and P_A over correct pairs only (Chen et al.)."
+    )
+    table.add_note(
+        "detector axis defaults to every registered family; new registrations "
+        "join this comparison automatically."
+    )
+    return table
+
+
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="q1",
+        title="QoS comparison: detection time vs accuracy, all registered detectors",
+        params_cls=Q1Params,
+        axes=(DetectorAxis(), TrialAxis()),
+        run_cell=run_cell,
+        metrics=(
+            Metric("detect_mean", "mean crash-detection latency T_D (s)"),
+            Metric("detect_max", "strong-completeness latency (s)"),
+            Metric("detected_by", "observers that detected the crash"),
+            Metric("mistake_rate", "false suspicions per correct pair per second (λ_M)"),
+            Metric("query_accuracy", "fraction of pair-time the output was correct (P_A)"),
+            Metric("msgs_per_s", "messages per second per process"),
+        ),
+        tabulate=tabulate,
+    )
+)
+
+
+def run(params: Q1Params | None = None) -> Table:
+    return run_grid(SPEC, params if params is not None else Q1Params()).tables()[0]

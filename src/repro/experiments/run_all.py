@@ -1,11 +1,18 @@
 """Regenerate every table and figure: ``python -m repro.experiments.run_all``.
 
-Kept as a thin sequential wrapper over the harness registry for backwards
-compatibility — prefer ``python -m repro run`` (parallel workers, result
-caching, JSON artifacts).  ``--full`` runs paper-scale parameters
-(minutes); the default quick presets finish in well under a minute and
-show the same shapes.  ``--only T1,F2`` restricts to a comma-separated
-subset.  ``--markdown`` emits EXPERIMENTS.md-ready tables.
+Kept as a thin sequential wrapper over the experiment registry for
+backwards compatibility — prefer ``python -m repro run`` (parallel
+workers, result caching, JSON artifacts).  The experiment set is the
+:mod:`repro.experiments.api` registry in canonical order — historically a
+hard-coded module tuple sat between registration and this wrapper, so a
+newly registered experiment was silently missing from ``run_all`` and the
+reports until someone edited the tuple; now anything the registry knows
+is included automatically (built-in auto-import is conformance-tested,
+so an in-repo module cannot register without being discovered).
+``--full`` runs paper-scale parameters (minutes); the
+default quick presets finish in well under a minute and show the same
+shapes.  ``--only T1,F2`` restricts to a comma-separated subset.
+``--markdown`` emits EXPERIMENTS.md-ready tables.
 """
 
 from __future__ import annotations

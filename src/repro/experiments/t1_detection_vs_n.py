@@ -14,16 +14,25 @@ query round refreshes all pairs at once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from statistics import mean
 
 from ..harness.runner import run_grid
-from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats
 from ..sim.faults import CrashFault, FaultPlan
+from .api import (
+    DetectorAxis,
+    ExperimentSpec,
+    Metric,
+    ParamAxis,
+    TrialAxis,
+    group_values,
+    per_detector_headers,
+    register_experiment,
+    stat_mean,
+)
 from .report import Table
 from .scenarios import run_scenario, setup_for
 
-__all__ = ["T1Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+__all__ = ["T1Params", "SPEC", "run_cell", "tabulate", "run"]
 
 
 @dataclass(frozen=True)
@@ -40,15 +49,6 @@ class T1Params:
     @classmethod
     def full(cls) -> "T1Params":
         return cls(sizes=(10, 20, 30, 40, 50, 60), trials=5)
-
-
-def cells(params: T1Params) -> list[dict]:
-    return [
-        {"n": n, "detector": detector, "trial": trial}
-        for n in params.sizes
-        for detector in params.detectors
-        for trial in range(params.trials)
-    ]
 
 
 def run_cell(params: T1Params, coords: dict, seed: int) -> dict:
@@ -71,33 +71,18 @@ def run_cell(params: T1Params, coords: dict, seed: int) -> dict:
 
 
 def tabulate(params: T1Params, values: list[dict]) -> Table:
-    per_detector_headers = [
-        f"{detector} {stat} (s)" for detector in params.detectors for stat in ("mean", "max")
-    ]
     table = Table(
         title="T1: crash detection time vs system size (full mesh, 1 crash)",
-        headers=["n", "f", *per_detector_headers],
+        headers=["n", "f", *per_detector_headers(params.detectors, ("mean", "max"))],
     )
-    by_coords = dict(zip((tuple(sorted(c.items())) for c in cells(params)), values))
+    grouped = group_values(SPEC.cells(params), values, "n", "detector")
     for n in params.sizes:
-        per_detector: dict[str, tuple[float, float]] = {}
+        row: list[float] = []
         for detector in params.detectors:
-            means, maxes = [], []
-            for trial in range(params.trials):
-                key = tuple(sorted({"n": n, "detector": detector, "trial": trial}.items()))
-                stats = by_coords[key]
-                if stats["mean"] is not None:
-                    means.append(stats["mean"])
-                    maxes.append(stats["max"])
-            per_detector[detector] = (
-                mean(means) if means else float("nan"),
-                mean(maxes) if maxes else float("nan"),
-            )
-        table.add_row(
-            n,
-            max(1, int(n * params.f_fraction)),
-            *(v for detector in params.detectors for v in per_detector[detector]),
-        )
+            trials = [v for v in grouped[(n, detector)] if v["mean"] is not None]
+            row.append(stat_mean(v["mean"] for v in trials))
+            row.append(stat_mean(v["max"] for v in trials))
+        table.add_row(n, max(1, int(n * params.f_fraction)), *row)
     table.add_note(
         "Δ = 1 s (query grace / heartbeat period), Θ = 2 s, δ ≈ 1 ms exponential."
     )
@@ -107,13 +92,19 @@ def tabulate(params: T1Params, values: list[dict]) -> Table:
     return table
 
 
-SPEC = ScenarioSpec(
-    exp_id="t1",
-    title="crash detection time vs system size (time-free vs heartbeat)",
-    params_cls=T1Params,
-    cells=cells,
-    run_cell=run_cell,
-    tabulate=tabulate,
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="t1",
+        title="crash detection time vs system size (time-free vs heartbeat)",
+        params_cls=T1Params,
+        axes=(ParamAxis("n", field="sizes"), DetectorAxis(), TrialAxis()),
+        run_cell=run_cell,
+        metrics=(
+            Metric("mean", "mean detection latency across correct observers (s)"),
+            Metric("max", "strong-completeness latency: last observer to detect (s)"),
+        ),
+        tabulate=tabulate,
+    )
 )
 
 

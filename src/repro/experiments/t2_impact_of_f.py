@@ -14,14 +14,14 @@ from dataclasses import dataclass
 from statistics import mean
 
 from ..harness.runner import run_grid
-from ..harness.spec import ScenarioSpec
 from ..metrics import detection_stats, mistake_stats
 from ..sim.faults import CrashFault, FaultPlan
 from ..sim.latency import LogNormalLatency
+from .api import ExperimentSpec, Metric, ParamAxis, register_experiment
 from .report import Table
 from .scenarios import run_scenario, setup_for
 
-__all__ = ["T2Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+__all__ = ["T2Params", "SPEC", "run_cell", "tabulate", "run"]
 
 
 @dataclass(frozen=True)
@@ -40,10 +40,6 @@ class T2Params:
     @classmethod
     def full(cls) -> "T2Params":
         return cls(f_values=(1, 3, 5, 7, 10, 14, 20))
-
-
-def cells(params: T2Params) -> list[dict]:
-    return [{"f": f} for f in params.f_values]
 
 
 def run_cell(params: T2Params, coords: dict, seed: int) -> dict:
@@ -104,13 +100,22 @@ def tabulate(params: T2Params, values: list[dict]) -> Table:
     return table
 
 
-SPEC = ScenarioSpec(
-    exp_id="t2",
-    title="impact of the crash bound f on the time-free detector",
-    params_cls=T2Params,
-    cells=cells,
-    run_cell=run_cell,
-    tabulate=tabulate,
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="t2",
+        title="impact of the crash bound f on the time-free detector",
+        params_cls=T2Params,
+        axes=(ParamAxis("f", field="f_values"),),
+        run_cell=run_cell,
+        metrics=(
+            Metric("detect_mean", "mean crash-detection latency (s)"),
+            Metric("detect_max", "max crash-detection latency (s)"),
+            Metric("round_duration", "mean query-round duration (s)"),
+            Metric("rounds_per_process", "completed query rounds per process"),
+            Metric("false_suspicions", "wrong suspicion intervals among correct pairs"),
+        ),
+        tabulate=tabulate,
+    )
 )
 
 

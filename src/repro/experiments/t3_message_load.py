@@ -12,12 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..harness.runner import run_grid
-from ..harness.spec import ScenarioSpec
 from ..metrics import message_load
+from .api import DetectorAxis, ExperimentSpec, Metric, ParamAxis, register_experiment
 from .report import Table
 from .scenarios import run_scenario, setup_for
 
-__all__ = ["T3Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+__all__ = ["T3Params", "SPEC", "run_cell", "tabulate", "run"]
 
 
 @dataclass(frozen=True)
@@ -32,14 +32,6 @@ class T3Params:
     @classmethod
     def full(cls) -> "T3Params":
         return cls(sizes=(10, 30, 60), horizon=60.0)
-
-
-def cells(params: T3Params) -> list[dict]:
-    return [
-        {"n": n, "detector": detector}
-        for n in params.sizes
-        for detector in params.detectors
-    ]
 
 
 def run_cell(params: T3Params, coords: dict, seed: int) -> dict:
@@ -67,7 +59,7 @@ def tabulate(params: T3Params, values: list[dict]) -> Table:
         title="T3: message load (crash-free run)",
         headers=["n", "detector", "msgs/s/process", "dominant kind", "kind msgs/s/process"],
     )
-    for coords, value in zip(cells(params), values):
+    for coords, value in zip(SPEC.cells(params), values):
         table.add_row(
             coords["n"],
             setup_for(coords["detector"]).label,
@@ -86,13 +78,20 @@ def tabulate(params: T3Params, values: list[dict]) -> Table:
     return table
 
 
-SPEC = ScenarioSpec(
-    exp_id="t3",
-    title="message load per detector (crash-free run)",
-    params_cls=T3Params,
-    cells=cells,
-    run_cell=run_cell,
-    tabulate=tabulate,
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="t3",
+        title="message load per detector (crash-free run)",
+        params_cls=T3Params,
+        axes=(ParamAxis("n", field="sizes"), DetectorAxis()),
+        run_cell=run_cell,
+        metrics=(
+            Metric("total", "messages per second per process, all kinds"),
+            Metric("dominant", "highest-volume message kind"),
+            Metric("dominant_load", "msgs/s/process of the dominant kind"),
+        ),
+        tabulate=tabulate,
+    )
 )
 
 

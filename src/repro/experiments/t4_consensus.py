@@ -17,13 +17,13 @@ from dataclasses import dataclass
 
 from ..consensus import ConsensusHarness
 from ..harness.runner import run_grid
-from ..harness.spec import ScenarioSpec
 from ..sim.faults import CrashFault, FaultPlan
 from ..sim.latency import ExponentialLatency
+from .api import DetectorAxis, ExperimentSpec, FixedAxis, Metric, register_experiment
 from .report import Table
 from .scenarios import DetectorSetup, setup_for
 
-__all__ = ["T4Params", "SPEC", "cells", "run_cell", "tabulate", "run"]
+__all__ = ["T4Params", "SPEC", "run_cell", "tabulate", "run"]
 
 _SCENARIOS = ("fault-free", "coordinator crash")
 
@@ -60,14 +60,6 @@ def _setup(params: T4Params, detector: str) -> DetectorSetup:
         timeout=2 * params.delta,
         label=label_fn(params.delta),
     )
-
-
-def cells(params: T4Params) -> list[dict]:
-    return [
-        {"detector": detector, "scenario": scenario}
-        for detector in params.detectors
-        for scenario in _SCENARIOS
-    ]
 
 
 def run_cell(params: T4Params, coords: dict, seed: int) -> dict:
@@ -112,7 +104,7 @@ def tabulate(params: T4Params, values: list[dict]) -> Table:
             "max rounds",
         ],
     )
-    for coords, value in zip(cells(params), values):
+    for coords, value in zip(SPEC.cells(params), values):
         table.add_row(
             _setup(params, coords["detector"]).label,
             coords["scenario"],
@@ -129,13 +121,22 @@ def tabulate(params: T4Params, values: list[dict]) -> Table:
     return table
 
 
-SPEC = ScenarioSpec(
-    exp_id="t4",
-    title="Chandra-Toueg consensus latency over each detector",
-    params_cls=T4Params,
-    cells=cells,
-    run_cell=run_cell,
-    tabulate=tabulate,
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="t4",
+        title="Chandra-Toueg consensus latency over each detector",
+        params_cls=T4Params,
+        axes=(DetectorAxis(), FixedAxis("scenario", values=_SCENARIOS)),
+        run_cell=run_cell,
+        metrics=(
+            Metric("all_correct_decided", "every correct process decided"),
+            Metric("agreement", "no two processes decided differently"),
+            Metric("validity", "decisions were proposed values"),
+            Metric("decision_time", "time of the last correct decision (s)"),
+            Metric("max_rounds", "most CT rounds any correct process executed"),
+        ),
+        tabulate=tabulate,
+    )
 )
 
 

@@ -2,12 +2,13 @@
 
 Examples::
 
-    python -m repro list
+    python -m repro experiments      # (`list` is an alias)
     python -m repro detectors
     python -m repro run t1 --workers 2 --out results/
     python -m repro run t1 e2 f3 --full --workers 8 --out results/ --markdown
     python -m repro run t1 --detector heartbeat --detector phi
     python -m repro run t1 -p sizes=[8] -p trials=1
+    python -m repro run q1 --dry-run
     python -m repro bench --events 200000 --out results/
     python -m repro cache info --dir results/.cache
     python -m repro cache prune --dir results/.cache --max-age-days 30 --max-size-mb 512
@@ -21,6 +22,11 @@ params field (value parsed as JSON, bare strings allowed).  Results are
 cached by content hash under ``<out>/.cache`` (override with
 ``--cache-dir``, disable with ``--no-cache``): re-running an unchanged
 grid is served entirely from cache and rewrites byte-identical artifacts.
+``--dry-run`` prints each grid's cell list (coordinates + derived seeds)
+without executing anything.
+
+``experiments`` mirrors ``detectors`` for the experiment registry: every
+registered experiment with its axes and default/full grid sizes.
 
 ``bench`` runs the engine microbenchmarks into the same artifact format
 (``BENCH_MICRO.json``); ``cache prune`` applies age/size caps to a result
@@ -39,7 +45,7 @@ from .artifacts import write_artifact
 from .cache import ResultCache
 from .registry import all_specs
 from .runner import run_grid
-from .spec import with_detectors, with_overrides
+from .spec import cell_seed, with_detectors, with_overrides
 
 __all__ = ["main"]
 
@@ -56,7 +62,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         metavar="EXP",
-        help="experiment ids (t1..t4, f1..f3, e1, e2, a1, a2); default: all",
+        help="experiment ids (see `repro experiments`); default: all",
     )
     run.add_argument("--workers", type=int, default=1, help="process-pool size")
     run.add_argument("--out", default="results", help="artifact directory")
@@ -78,6 +84,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FIELD=VALUE",
         help="override a params field (VALUE parsed as JSON; repeatable)",
     )
+    run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print each grid's cell list (coords + seeds) without executing",
+    )
     run.add_argument("--no-cache", action="store_true", help="always recompute")
     run.add_argument("--cache-dir", default=None, help="cache directory (default: OUT/.cache)")
     run.add_argument(
@@ -97,7 +108,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--markdown", action="store_true", help="markdown tables")
     run.add_argument("--quiet", action="store_true", help="no tables, just a summary line")
 
-    commands.add_parser("list", help="list experiment grids")
+    commands.add_parser(
+        "experiments", help="list registered experiments (axes + grid sizes)"
+    )
+    commands.add_parser("list", help="alias of `experiments`")
     commands.add_parser("detectors", help="list registered detector families")
 
     bench = commands.add_parser(
@@ -145,10 +159,19 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list() -> int:
-    for exp_id, spec in all_specs().items():
-        params = spec.params_cls()
-        print(f"{exp_id:<4} {len(spec.cells(params)):>3} cells  {spec.title}")
+def _cmd_experiments() -> int:
+    from ..experiments.api import all_experiments
+
+    rows = []
+    for exp_id, spec in all_experiments().items():
+        axes = "×".join(spec.axis_names())
+        rows.append(
+            (exp_id, axes, spec.grid_size(), spec.grid_size(full=True), spec.title)
+        )
+    width = max(len(row[1]) for row in rows)
+    print(f"{'id':<4} {'axes':<{width}} {'cells':>5} {'full':>5}  title")
+    for exp_id, axes, default, full, title in rows:
+        print(f"{exp_id:<4} {axes:<{width}} {default:>5} {full:>5}  {title}")
     return 0
 
 
@@ -205,6 +228,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.max_resident is not None and not args.stream:
         print("--max-resident requires --stream", file=sys.stderr)
         return 2
+    if args.dry_run:
+        for exp_id, params in prepared:
+            spec = specs[exp_id]
+            cells = spec.grid(params)
+            print(f"{exp_id}: {len(cells)} cells (nothing executed)")
+            for index, coords in enumerate(cells):
+                seed = cell_seed(spec.exp_id, coords, params.seed)
+                print(f"  [{index:>3}] {json.dumps(coords, sort_keys=True)} seed={seed}")
+        return 0
     for exp_id, params in prepared:
         spec = specs[exp_id]
         started = time.perf_counter()
@@ -316,8 +348,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
+    if args.command in ("experiments", "list"):
+        return _cmd_experiments()
     if args.command == "detectors":
         return _cmd_detectors()
     if args.command == "bench":

@@ -1,13 +1,22 @@
-"""Registry of every experiment grid, keyed by lower-case id.
+"""Harness view of the experiment registry, keyed by lower-case id.
 
-Imports live here (not at harness import time) so ``repro.harness`` has no
+Thin delegation to the :mod:`repro.experiments.api` plugin registry —
+experiments register themselves (``register_experiment``) and every
+consumer (``repro run``/``repro list``/``repro experiments``, ``run_all``,
+CI smoke jobs) resolves them from the one registry, in canonical
+reporting order.  Before the registry existed this module hard-coded the
+eleven experiment modules, which meant a newly added experiment was
+silently skipped by ``run_all`` and the CLI unless this tuple was edited;
+discovery now lives in one place (``_BUILTIN_MODULES`` + registration,
+with a conformance test that refuses undiscovered in-repo modules).
+
+Imports stay lazy (inside the functions) so ``repro.harness`` has no
 import cycle with ``repro.experiments`` — experiment modules import the
 harness to declare their specs.
 """
 
 from __future__ import annotations
 
-from ..errors import ConfigurationError
 from .spec import ScenarioSpec
 
 __all__ = ["all_specs", "get_spec"]
@@ -15,41 +24,12 @@ __all__ = ["all_specs", "get_spec"]
 
 def all_specs() -> dict[str, ScenarioSpec]:
     """Every registered experiment spec, in canonical reporting order."""
-    from ..experiments import (
-        a1_grace_ablation,
-        a2_loss_resilience,
-        e1_density,
-        e2_mobility,
-        f1_detection_cdf,
-        f2_delay_variance,
-        f3_mp_sensitivity,
-        t1_detection_vs_n,
-        t2_impact_of_f,
-        t3_message_load,
-        t4_consensus,
-    )
+    from ..experiments.api import all_experiments
 
-    modules = (
-        t1_detection_vs_n,
-        t2_impact_of_f,
-        t3_message_load,
-        t4_consensus,
-        f1_detection_cdf,
-        f2_delay_variance,
-        f3_mp_sensitivity,
-        e1_density,
-        e2_mobility,
-        a1_grace_ablation,
-        a2_loss_resilience,
-    )
-    return {module.SPEC.exp_id: module.SPEC for module in modules}
+    return dict(all_experiments())
 
 
 def get_spec(exp_id: str) -> ScenarioSpec:
-    specs = all_specs()
-    spec = specs.get(exp_id.lower())
-    if spec is None:
-        raise ConfigurationError(
-            f"unknown experiment {exp_id!r}; choose from {sorted(specs)}"
-        )
-    return spec
+    from ..experiments.api import get_experiment
+
+    return get_experiment(exp_id)

@@ -81,7 +81,7 @@ def run_grid(
     """
     if params is None:
         params = spec.params_cls()
-    cells = [dict(coords) for coords in spec.cells(params)]
+    cells = spec.grid(params)
     return GridResult(
         spec=spec,
         params=params,

@@ -140,6 +140,9 @@ class ScenarioSpec:
     ``cells``
         ``cells(params) -> sequence of coordinate mappings`` (JSON-scalar
         values only) — the grid, in canonical (reporting) order.
+        Subclasses may derive it (``None`` here): the declarative
+        :class:`~repro.experiments.api.ExperimentSpec` fills it in from
+        its ``axes``.
     ``run_cell``
         ``run_cell(params, coords, seed) -> JSON-serialisable mapping`` —
         evaluates one cell.  Runs on worker processes.
@@ -151,9 +154,21 @@ class ScenarioSpec:
     exp_id: str
     title: str
     params_cls: type
-    cells: Callable[[Any], Sequence[Mapping[str, Any]]]
-    run_cell: Callable[[Any, Mapping[str, Any], int], Mapping[str, Any]]
-    tabulate: Callable[[Any, list[Any]], Any]
+    cells: Callable[[Any], Sequence[Mapping[str, Any]]] | None = None
+    run_cell: Callable[[Any, Mapping[str, Any], int], Mapping[str, Any]] | None = None
+    tabulate: Callable[[Any, list[Any]], Any] | None = None
+
+    def __post_init__(self) -> None:
+        missing = [
+            name
+            for name in ("cells", "run_cell", "tabulate")
+            if getattr(self, name) is None
+        ]
+        if missing:
+            raise ConfigurationError(
+                f"experiment {self.exp_id!r} is missing {missing}; a grid needs "
+                "cells (or declarative axes), a cell runner and a tabulation layout"
+            )
 
     def make_params(self, *, full: bool = False, **overrides: Any) -> Any:
         """Quick or paper-scale (``full=True``) parameters, with overrides."""
@@ -161,3 +176,7 @@ class ScenarioSpec:
         if overrides:
             params = dataclasses.replace(params, **overrides)
         return params
+
+    def grid(self, params: Any) -> list[dict[str, Any]]:
+        """The grid as fresh, mutable cell dicts (what the runners schedule)."""
+        return [dict(coords) for coords in self.cells(params)]

@@ -86,7 +86,7 @@ def stream_outcomes(
         raise ConfigurationError(f"window must be >= 1, got {window}")
     if params is None:
         params = spec.params_cls()
-    cells = [dict(coords) for coords in spec.cells(params)]
+    cells = spec.grid(params)
     seeds = [cell_seed(spec.exp_id, coords, params.seed) for coords in cells]
     pool = ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
     try:

@@ -1,0 +1,85 @@
+"""Smoke-sized parameterisations and committed golden artifacts.
+
+One params instance per experiment, small enough that the whole set runs
+in well under a minute, large enough that every table keeps its shape
+(multiple detectors, multiple stress points, at least one crash where the
+experiment has one).  The committed ``BENCH_<ID>.json`` files in this
+directory were produced by :mod:`tests.goldens.regenerate` and pin the
+experiments' artifacts byte-for-byte: any refactor of the experiment API
+must reproduce them exactly (same cell ordering, same per-cell seeds,
+same table text).
+
+Regenerate (only when an experiment's *behaviour* deliberately changes)::
+
+    python -m tests.goldens.regenerate
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: the experiments pinned by committed goldens (the legacy 11; new
+#: experiments such as q1 are covered by the conformance suite instead)
+GOLDEN_EXPERIMENTS = (
+    "t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2",
+)
+
+
+def smoke_params():
+    """exp_id -> smoke-sized params instance, for every registered experiment.
+
+    Covers the golden 11 plus experiments that are conformance-tested but
+    not golden-pinned (q1).
+    """
+    from repro.experiments import (
+        a1_grace_ablation,
+        a2_loss_resilience,
+        e1_density,
+        e2_mobility,
+        f1_detection_cdf,
+        f2_delay_variance,
+        f3_mp_sensitivity,
+        q1_qos_comparison,
+        t1_detection_vs_n,
+        t2_impact_of_f,
+        t3_message_load,
+        t4_consensus,
+    )
+
+    return {
+        "t1": t1_detection_vs_n.T1Params(
+            sizes=(6,), trials=1, horizon=12.0, crash_at=4.0
+        ),
+        "t2": t2_impact_of_f.T2Params(
+            n=8, f_values=(1, 3), horizon=12.0, crash_at=4.0
+        ),
+        "t3": t3_message_load.T3Params(sizes=(6,), horizon=8.0),
+        "t4": t4_consensus.T4Params(n=5, f=2, horizon=30.0),
+        "f1": f1_detection_cdf.F1Params(
+            n=8, f=2, trials=2, horizon=14.0, crash_at=5.0
+        ),
+        "f2": f2_delay_variance.F2Params(
+            n=8, f=2, horizon=25.0, shift_factors=(1.0, 50.0), sigmas=(0.5,)
+        ),
+        "f3": f3_mp_sensitivity.F3Params(
+            n=8, f=3, horizon=10.0, speedups=(8.0, 0.5)
+        ),
+        "e1": e1_density.E1Params(
+            n=30, f=2, densities=(6,), crashes=2,
+            horizon=25.0, crash_window=(4.0, 10.0),
+        ),
+        "e2": e2_mobility.E2Params(
+            n=22, depart=20.0, arrive=50.0, horizon=90.0, sample_step=5.0
+        ),
+        "a1": a1_grace_ablation.A1Params(
+            n=8, f=2, graces=(0.0, 0.5), horizon=12.0, crash_at=4.0
+        ),
+        "a2": a2_loss_resilience.A2Params(
+            n=8, f=2, loss_rates=(0.0, 0.3), horizon=20.0, crash_at=6.0
+        ),
+        "q1": q1_qos_comparison.Q1Params(
+            n=8, f=2, trials=1, crash_at=5.0, horizon=15.0
+        ),
+    }

@@ -1,0 +1,33 @@
+"""Regenerate the committed golden artifacts: ``python -m tests.goldens.regenerate``.
+
+Runs every golden experiment on its smoke params (sequentially, no cache)
+and rewrites ``tests/goldens/BENCH_<ID>.json``.  Only run this when an
+experiment's behaviour deliberately changes — the point of the goldens is
+to catch *accidental* changes, so a diff here should always be explained
+in the commit that regenerates them.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness import run_grid, write_artifact
+from repro.harness.registry import get_spec
+
+from . import GOLDEN_DIR, GOLDEN_EXPERIMENTS, smoke_params
+
+
+def main() -> int:
+    params_by_id = smoke_params()
+    for exp_id in GOLDEN_EXPERIMENTS:
+        started = time.perf_counter()
+        result = run_grid(get_spec(exp_id), params_by_id[exp_id])
+        path = write_artifact(GOLDEN_DIR, result)
+        print(f"{exp_id}: {len(result.outcomes)} cells "
+              f"in {time.perf_counter() - started:.1f}s -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

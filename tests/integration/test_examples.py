@@ -39,6 +39,18 @@ class TestExamplesRun:
         assert result.returncode == 0, result.stderr
         assert "crash detected over UDP" in result.stdout
 
+    def test_qos_scatter(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "qos_scatter.py"), str(tmp_path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "scatter table artifact" in result.stdout
+        assert "fastest detection:" in result.stdout
+        assert (tmp_path / "BENCH_Q1.json").exists()
+
 
 class TestExamplesCompile:
     @pytest.mark.parametrize(

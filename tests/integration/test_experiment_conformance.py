@@ -1,0 +1,223 @@
+"""Registry-parametrized conformance suite for every registered experiment.
+
+The contract every :class:`~repro.experiments.api.ExperimentSpec` must
+honour, asserted uniformly so a new registration is tested for free:
+
+* the grid is non-empty and has no duplicate cells (under default *and*
+  smoke params), and its coordinate names match the declared axes;
+* ``run_cell`` is a pure function of ``(params, coords, seed)`` — the
+  same cell evaluated twice gives the identical (normalised) value;
+* ``tabulate`` accepts its own grid's values and yields populated tables;
+* every declared metric actually appears in every cell's value;
+* the legacy 11 reproduce their committed golden artifacts **byte for
+  byte** (cell ordering, per-cell seeds, table text — the refactor-safety
+  net behind the declarative-axes port).
+"""
+
+import subprocess
+import sys
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.api import (
+    ExperimentSpec,
+    all_experiments,
+    experiment_keys,
+    get_experiment,
+)
+from repro.experiments.report import Table
+from repro.harness import run_grid, write_artifact
+from repro.harness.runner import _normalise
+from repro.harness.spec import canonical_json, cell_seed
+
+from tests.goldens import GOLDEN_DIR, GOLDEN_EXPERIMENTS, smoke_params
+
+EXPERIMENTS = experiment_keys()
+
+
+@lru_cache(maxsize=None)
+def _smoke_run(exp_id: str):
+    """One sequential smoke-grid evaluation per experiment, shared by tests."""
+    return run_grid(get_experiment(exp_id), smoke_params()[exp_id])
+
+
+class TestRegistry:
+    def test_twelve_experiments_registered(self):
+        assert len(EXPERIMENTS) == 12
+        assert "q1" in EXPERIMENTS
+
+    def test_canonical_order(self):
+        assert EXPERIMENTS == [
+            "t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2", "q1",
+        ]
+
+    def test_canonical_order_survives_direct_module_import(self):
+        # Importing a built-in module directly registers it (and only it)
+        # first; the registry must still report canonical order, not raw
+        # registration order.
+        code = (
+            "import repro.experiments.e2_mobility\n"
+            "from repro.experiments.api import all_experiments\n"
+            "print(','.join(all_experiments()))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == ",".join(EXPERIMENTS)
+
+    def test_every_spec_is_declarative(self):
+        for spec in all_experiments().values():
+            assert isinstance(spec, ExperimentSpec)
+            assert spec.axes, f"{spec.exp_id} has no declarative axes"
+
+    def test_smoke_params_cover_the_registry(self):
+        assert set(smoke_params()) == set(EXPERIMENTS)
+
+    def test_harness_registry_delegates(self):
+        from repro.harness import all_specs, get_spec
+
+        assert list(all_specs()) == EXPERIMENTS
+        assert get_spec("Q1") is get_experiment("q1")
+
+    def test_every_in_repo_experiment_module_is_auto_imported(self):
+        # The registry auto-imports built-ins via _BUILTIN_MODULES; an
+        # in-repo module that registers an experiment but is missing from
+        # that mapping would be silently absent from every consumer (the
+        # old hard-coded-tuple bug).  Fail loudly here instead.
+        import pathlib
+
+        import repro.experiments as package
+        from repro.experiments.api import _BUILTIN_MODULES
+
+        defining = {
+            path.stem
+            for path in pathlib.Path(package.__file__).parent.glob("*.py")
+            if path.stem != "api"
+            and "register_experiment(" in path.read_text(encoding="utf-8")
+        }
+        assert defining == set(_BUILTIN_MODULES.values())
+
+    def test_builtin_mapping_mismatch_fails_loudly(self, monkeypatch):
+        # A _BUILTIN_MODULES key whose module registers a different id must
+        # raise a ConfigurationError, not a bare KeyError mid-ordering.
+        from repro.errors import ConfigurationError
+        from repro.experiments import api
+
+        monkeypatch.setitem(api._BUILTIN_MODULES, "zz", "t2_impact_of_f")
+        with pytest.raises(ConfigurationError, match="did not register"):
+            api.all_experiments()
+
+    def test_duplicate_axis_names_are_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.experiments.api import ParamAxis, Section
+
+        with pytest.raises(ConfigurationError, match="duplicate axis names"):
+            Section(axes=(ParamAxis("x", field="a"), ParamAxis("x", field="b")))
+
+    def test_mixed_case_ids_are_rejected_at_registration(self):
+        # Lookups lowercase the query, so a mixed-case registration would
+        # be listed but unresolvable — refuse it up front.
+        from repro.errors import ConfigurationError
+        from repro.experiments.api import register_experiment
+
+        spec = get_experiment("t2")
+        with pytest.raises(ConfigurationError, match="lower-case"):
+            register_experiment(
+                ExperimentSpec(
+                    exp_id="X9",
+                    title=spec.title,
+                    params_cls=spec.params_cls,
+                    axes=spec.axes,
+                    run_cell=spec.run_cell,
+                    tabulate=spec.tabulate,
+                )
+            )
+
+
+@pytest.mark.parametrize("exp_id", EXPERIMENTS)
+class TestGridShape:
+    def test_cells_nonempty_and_unique(self, exp_id):
+        spec = get_experiment(exp_id)
+        for params in (spec.make_params(), smoke_params()[exp_id]):
+            cells = spec.grid(params)
+            assert cells, f"{exp_id}: empty grid"
+            rendered = [canonical_json(coords) for coords in cells]
+            assert len(set(rendered)) == len(rendered), f"{exp_id}: duplicate cells"
+
+    def test_coords_match_declared_axes(self, exp_id):
+        spec = get_experiment(exp_id)
+        names = set(spec.axis_names())
+        for coords in spec.grid(spec.make_params()):
+            assert set(coords) <= names
+
+    def test_cell_seeds_are_distinct(self, exp_id):
+        spec = get_experiment(exp_id)
+        params = spec.make_params()
+        seeds = [cell_seed(exp_id, coords, params.seed) for coords in spec.grid(params)]
+        assert len(set(seeds)) == len(seeds)
+
+
+@pytest.mark.parametrize("exp_id", EXPERIMENTS)
+class TestCellContract:
+    def test_run_cell_is_deterministic_for_a_fixed_seed(self, exp_id):
+        result = _smoke_run(exp_id)
+        outcome = result.outcomes[0]
+        replay = _normalise(
+            result.spec.run_cell(result.params, dict(outcome.coords), outcome.seed)
+        )
+        assert replay == outcome.value
+
+    def test_declared_metrics_present_in_every_cell(self, exp_id):
+        result = _smoke_run(exp_id)
+        metric_names = [metric.name for metric in result.spec.metrics]
+        assert metric_names, f"{exp_id}: no declared metrics"
+        for outcome in result.outcomes:
+            missing = [name for name in metric_names if name not in outcome.value]
+            assert not missing, f"{exp_id}: cell {outcome.coords} lacks {missing}"
+
+    def test_tabulate_accepts_its_own_values(self, exp_id):
+        result = _smoke_run(exp_id)
+        tables = result.tables()
+        assert tables
+        for table in tables:
+            assert isinstance(table, Table)
+            assert table.rows
+            for row in table.rows:
+                assert len(row) == len(table.headers)
+
+
+@pytest.mark.parametrize("exp_id", GOLDEN_EXPERIMENTS)
+class TestGoldenArtifacts:
+    def test_artifact_is_byte_identical_to_golden(self, exp_id, tmp_path):
+        path = write_artifact(tmp_path, _smoke_run(exp_id))
+        golden = GOLDEN_DIR / path.name
+        assert golden.exists(), (
+            f"missing golden {golden.name}; run `python -m tests.goldens.regenerate`"
+        )
+        assert path.read_bytes() == golden.read_bytes(), (
+            f"{exp_id}: artifact drifted from the committed golden — an axis, "
+            "seed or table change is observable; regenerate only if intended"
+        )
+
+
+class TestQ1:
+    """The QoS comparison: the registry's first post-port client."""
+
+    def test_default_axis_is_every_registered_detector(self):
+        from repro.detectors import detector_keys
+        from repro.experiments.q1_qos_comparison import Q1Params
+
+        assert Q1Params().detectors == tuple(detector_keys())
+
+    def test_one_row_per_detector_with_both_qos_axes(self):
+        result = _smoke_run("q1")
+        table = result.tables()[0]
+        labels = table.column("detector")
+        assert len(labels) == len(result.params.detectors)
+        for latency in table.column("detect mean (s)"):
+            # every family detected the crash within the horizon
+            assert latency == latency and 0.0 < latency < 15.0
+        for accuracy in table.column("query accuracy P_A"):
+            assert 0.0 <= accuracy <= 1.0

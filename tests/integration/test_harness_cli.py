@@ -28,6 +28,37 @@ class TestCliList:
             assert key in out
         assert "◇S" in out and "◇P" in out
 
+    def test_experiments_lists_all_twelve_with_axes_and_sizes(self, capsys):
+        assert main(["experiments"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        body = [line for line in lines[1:] if line.strip()]
+        assert len(body) == 12
+        ids = [line.split()[0] for line in body]
+        assert ids == [
+            "t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2", "q1",
+        ]
+        by_id = dict(zip(ids, body))
+        assert "n×detector×trial" in by_id["t1"]
+        assert "sweep×stress×detector" in by_id["f2"]
+        assert "detector×trial" in by_id["q1"]
+
+
+class TestCliDryRun:
+    def test_dry_run_prints_cells_without_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        assert main(["run", "t2", "--dry-run", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "t2: 4 cells (nothing executed)" in printed
+        assert '{"f": 1}' in printed and "seed=" in printed
+        assert not (out / "BENCH_T2.json").exists()
+
+    def test_dry_run_reflects_param_and_detector_overrides(self, tmp_path, capsys):
+        assert main(["run", "t1", "--detector", "phi", "-p", "sizes=[6]",
+                     "-p", "trials=1", "--dry-run", "--out", str(tmp_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "t1: 1 cells (nothing executed)" in printed
+        assert '"detector": "phi"' in printed
+
 
 class TestCliRun:
     def test_unknown_experiment_fails(self, tmp_path, capsys):
