@@ -33,7 +33,23 @@ _REGISTRY: dict[str, DetectorSpec] = {}
 
 
 def register_detector(spec: DetectorSpec) -> DetectorSpec:
-    """Register a family; the key must be new (idempotent for same spec)."""
+    """Register a detector family under ``spec.key``.
+
+    Returns ``spec``, so it composes with assignment::
+
+        SPEC = register_detector(DetectorSpec(key="mydet", ...))
+
+    Registration is the single extension point for detectors: the sim
+    driver, the runtime ``DetectorService``, the conformance battery and
+    every experiment's detector axis resolve families through this
+    registry by key (see ``docs/architecture.md``).  Keys are matched
+    case-insensitively on lookup, so register lower-case keys.
+
+    Re-registering the *same* spec object is a no-op (safe under repeated
+    module import); a different spec under an existing key raises
+    :class:`~repro.errors.ConfigurationError` — pick a new key rather
+    than shadowing a built-in.
+    """
     existing = _REGISTRY.get(spec.key)
     if existing is not None and existing is not spec:
         raise ConfigurationError(f"detector key {spec.key!r} is already registered")

@@ -247,6 +247,14 @@ class ExperimentSpec(ScenarioSpec):
     ``tabulate``
         The tabulation layout, as before: ``tabulate(params, values) ->
         Table | list[Table]`` with ``values`` in cell order.
+
+    Declaring the grid as data (rather than a ``cells`` callable) is what
+    the CLI's grid introspection (``sections()``, ``axis_names()``,
+    ``grid_size()``), streaming tabulation and the conformance suite key
+    off.  A minimal registration is shown in the README's
+    "adding an experiment" walkthrough; ``docs/architecture.md`` lists
+    the invariants (stable-name seeding, byte-identical artifacts) a new
+    experiment inherits for free by going through this class.
     """
 
     axes: tuple = ()

@@ -149,6 +149,14 @@ class ScenarioSpec:
     ``tabulate``
         ``tabulate(params, values) -> Table | list[Table]`` with ``values``
         in ``cells(params)`` order.
+
+    The harness derives each cell's master seed as
+    ``sha256(exp_id, params, coords)``, so ``run_cell`` must draw all its
+    randomness from the ``seed`` it is handed — never from global state —
+    and cells stay independent of grid order (the first invariant in
+    ``docs/architecture.md``).  ``run_cell`` and ``tabulate`` must be
+    importable module-level callables: cells are evaluated on worker
+    processes and results are cached by content hash.
     """
 
     exp_id: str

@@ -5,56 +5,119 @@ the same instant fire in scheduling order, which — together with seeded
 randomness (:mod:`repro.sim.rng`) — makes whole simulations reproducible
 bit-for-bit.
 
-Performance notes (large grids run thousands of these loops):
+Two backends implement that contract behind one API (see
+``docs/engine.md`` for the full design note):
 
-* heap entries are ``(time, seq, event)`` tuples: ``seq`` is unique, so
-  ``heapq``'s C-level tuple comparison always resolves on the numeric
-  prefix and the Python-level ``_Event`` rich comparison is never invoked
-  (it previously dominated large-run profiles at ~400k calls per 46k
-  events);
-* cancellation is *lazy*: a cancelled event stays in the heap and is
-  discarded when it surfaces, so ``cancel`` is O(1) — with a compaction
-  pass that rebuilds the heap once cancelled entries dominate, so
-  cancel-heavy workloads (timer re-arming) stay O(log live) instead of
-  O(log total);
-* :meth:`Scheduler.schedule_batch` inserts many events with a single
-  ``heapify`` when that is cheaper than repeated pushes (broadcast
-  deliveries, cluster start-up staggering).
+* ``backend="wheel"`` (the default) — a hierarchical bucketed timer wheel:
+  two 256-slot levels of width ``quantum`` and ``256 * quantum``, plus a
+  sorted spill list for events beyond the wheel's ~64k-tick span.  Inserts
+  are O(1) regardless of how many events are pending (the property that
+  matters for grids with thousands of processes), slots are sorted by
+  ``(time, seq)`` only when the cursor reaches them, and a free list
+  recycles ``_Event`` objects so the steady state of a simulation performs
+  zero event allocations.
+* ``backend="heap"`` — the original binary-heap implementation, kept
+  verbatim as a differential-debugging oracle: identical workloads must
+  produce identical fire sequences on both backends
+  (``tests/property/test_wheel_vs_heap.py`` enforces this).
+
+Shared semantics, regardless of backend:
+
+* cancellation is *lazy*: a cancelled event stays where it is and is
+  discarded when the cursor (or heap pop) reaches it, so ``cancel`` is
+  O(1); a sweep rebuilds the structure once cancelled events outnumber
+  live ones, so cancel-heavy workloads (timer re-arming) never accumulate
+  unbounded garbage;
+* :meth:`Scheduler.schedule_batch` inserts many events at once (broadcast
+  deliveries, cluster start-up staggering) and assigns sequence numbers in
+  item order, so batching changes cost, never order;
+* the ``schedule_fire`` / ``handles=False`` fast paths skip
+  :class:`EventHandle` creation for fire-and-forget events (the data
+  plane's message deliveries), which is a measurable share of schedule
+  cost in large runs.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
+from math import inf as _INF
+from operator import attrgetter
 from typing import Any, Callable, Iterable
 
 from ..errors import SimulationError
 
 __all__ = ["EventHandle", "Scheduler"]
 
-#: event states — pending in the heap, already fired, or cancelled (still
-#: in the heap awaiting lazy removal).
+#: event states — pending in the queue, already fired, or cancelled
+#: (still in the queue awaiting lazy removal).
 _PENDING, _FIRED, _CANCELLED = 0, 1, 2
 
-#: compaction policy: rebuild the heap when at least this many cancelled
-#: events are buried in it *and* they outnumber the live ones.
-_COMPACT_MIN_DEAD = 64
+#: sweep policy: rebuild the pending structure when at least this many
+#: cancelled events are buried in it *and* they outnumber the live ones.
+_SWEEP_MIN_DEAD = 64
+
+#: wheel geometry — two 256-slot levels (8 bits each); events further than
+#: 2**16 ticks out go to the sorted spill list.
+_L0_BITS = 8
+_L0_SIZE = 1 << _L0_BITS  # 256 slots of one tick each
+_L0_MASK = _L0_SIZE - 1
+_SPAN = 1 << (2 * _L0_BITS)  # 65536 ticks covered by both levels
+
+#: default slot width in virtual-time units: ~1 ms when time is seconds,
+#: sized so the repo's latency draws (~1e-3) land a slot or two ahead and
+#: protocol periods (~0.5–10 s) stay inside the two-level span (~64 s).
+_DEFAULT_QUANTUM = 2.0**-10
+
+#: freelist bound — beyond this, recycled events are left to the GC.
+_FREELIST_MAX = 65536
+
+#: slot-drain sort key; C-level attribute fetch, so same-tick ordering
+#: costs one Timsort pass over an almost-always-tiny list.
+_EVENT_KEY = attrgetter("time", "seq")
+
+#: bare allocator for EventHandle — the scheduling hot paths fill the
+#: slots inline rather than paying for an ``__init__`` frame per handle.
+_new_handle = object.__new__
+
+#: total `_Event` allocations, ever — the zero-allocation tripwire tests
+#: read this module global around a steady-state run.
+_EVENTS_CREATED = 0
 
 
 class _Event:
-    __slots__ = ("time", "seq", "callback", "args", "state")
+    """One scheduled callback.
+
+    ``gen`` is the recycling generation: the wheel backend returns fired
+    and reaped events to a free list, bumping ``gen`` so any outstanding
+    :class:`EventHandle` (which captured the old generation) can tell that
+    its event is gone without keeping the object alive.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "state", "gen", "owner")
 
     def __init__(
-        self, time: float, seq: int, callback: Callable[..., None], args: tuple[Any, ...]
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+        owner: "Scheduler",
     ) -> None:
+        global _EVENTS_CREATED
+        _EVENTS_CREATED += 1
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.state = _PENDING
+        self.gen = 0
+        self.owner = owner
 
     def __lt__(self, other: "_Event") -> bool:
-        # Events never reach heapq comparisons anymore (the heap orders on
-        # its (time, seq) tuple prefix); kept for explicit sorts/debugging.
+        # Events never reach heap/sort comparisons directly (ordering runs
+        # on (time, seq) tuples or the C-level attrgetter key); kept for
+        # explicit sorts and debugging.
         if self.time != other.time:
             return self.time < other.time
         return self.seq < other.seq
@@ -65,55 +128,137 @@ class _Event:
 
 
 class EventHandle:
-    """Cancellation handle for a scheduled event."""
+    """Cancellation handle for a scheduled event.
 
-    __slots__ = ("_event", "_scheduler")
+    The handle captures the event's recycling generation and timestamp at
+    creation, so it keeps answering :attr:`time`, :attr:`fired` and
+    :attr:`cancelled` correctly even after the wheel backend has recycled
+    the underlying :class:`_Event` into a new scheduling.
+    """
 
-    def __init__(self, event: _Event, scheduler: "Scheduler"):
+    __slots__ = ("_event", "_gen", "_time", "_cancelled")
+
+    def __init__(self, event: _Event):
         self._event = event
-        self._scheduler = scheduler
+        self._gen = event.gen
+        self._time = event.time
+        self._cancelled = False
 
     @property
     def time(self) -> float:
-        return self._event.time
+        """The virtual time this event was scheduled to fire at."""
+        return self._time
 
     @property
     def cancelled(self) -> bool:
-        return self._event.state == _CANCELLED
+        """True once :meth:`cancel` has succeeded on this handle."""
+        return self._cancelled
 
     @property
     def fired(self) -> bool:
         """True once the event's callback has run."""
-        return self._event.state == _FIRED
+        if self._cancelled:
+            return False
+        event = self._event
+        # A recycled event (generation moved on) can only have left the
+        # queue by firing — cancellation through this handle is recorded
+        # locally above.
+        return event.gen != self._gen or event.state == _FIRED
 
     def cancel(self) -> bool:
         """Cancel the event; returns False if it already fired/was cancelled."""
-        if self._event.state != _PENDING:
+        event = self._event
+        if self._cancelled or event.gen != self._gen or event.state != _PENDING:
             return False
-        self._event.state = _CANCELLED
-        self._scheduler._note_cancelled()
+        event.state = _CANCELLED
+        self._cancelled = True
+        owner = event.owner
+        owner._live -= 1
+        dead = owner._dead + 1
+        owner._dead = dead
+        if dead >= owner._sweep_min and dead > owner._live:
+            owner._sweep()
         return True
 
 
 class Scheduler:
-    """A virtual-time event loop.
+    """A virtual-time event loop (timer-wheel backend by default).
 
-    The loop never advances past events: ``now`` is exactly the timestamp of
-    the event being processed.  Callbacks may schedule further events at or
-    after ``now`` (scheduling in the past raises
+    The loop never advances past events: :attr:`now` is exactly the
+    timestamp of the event being processed.  Callbacks may schedule further
+    events at or after ``now`` (scheduling in the past raises
     :class:`~repro.errors.SimulationError`).
+
+    Parameters
+    ----------
+    backend:
+        ``"wheel"`` (default) or ``"heap"``.  Both are observably
+        identical — same fire order, same ``now`` trajectory, same error
+        behavior; construct with ``backend="heap"`` to differentially
+        debug a suspected wheel problem (see ``docs/engine.md``).
+    quantum:
+        Wheel slot width in virtual-time units (ignored by the heap
+        backend).  The default of 2**-10 suits second-scale simulations;
+        pick roughly the smallest delay your workload schedules.  The
+        quantum affects bucketing cost only, never event ordering.
     """
 
-    def __init__(self) -> None:
+    def __new__(cls, *, backend: str = "wheel", quantum: float = _DEFAULT_QUANTUM):
+        if backend not in ("wheel", "heap"):
+            raise SimulationError(
+                f"unknown scheduler backend {backend!r}; choose 'wheel' or 'heap'"
+            )
+        if cls is Scheduler and backend == "heap":
+            return object.__new__(_HeapScheduler)
+        return object.__new__(cls)
+
+    def __init__(self, *, backend: str = "wheel", quantum: float = _DEFAULT_QUANTUM):
+        if quantum <= 0.0:
+            raise SimulationError(f"quantum must be > 0, got {quantum}")
         self._now = 0.0
-        self._heap: list[tuple[float, int, _Event]] = []
         self._seq = 0
         self._events_processed = 0
         self._stopped = False
-        self._live = 0  # pending events in the heap
+        self._live = 0  # pending events across all tiers
         self._dead = 0  # cancelled events awaiting lazy removal
+        #: cancelled-event count that triggers a full sweep.  The wheel's
+        #: cascade reaps garbage block by block anyway, so sweeping is a
+        #: memory backstop only and the trigger is deliberately high —
+        #: above the zombie plateau of timer re-arm workloads (cancel
+        #: rate x reap lag), which cascade reaping serves with no sweep
+        #: at all.
+        self._sweep_min = 16384
+        self._quantum = quantum
+        self._inv_quantum = 1.0 / quantum
+        #: cursor: the tick currently (or next) being drained.  No pending
+        #: event ever maps to a tick the cursor has fully passed.
+        self._cursor = 0
+        #: block start of the last block the run loop visited; the visit
+        #: check cascades a block's level-1 slot exactly once on entry.
+        self._block = -1
+        self._l0: list[list[_Event]] = [[] for _ in range(_L0_SIZE)]
+        self._l1: list[list[_Event]] = [[] for _ in range(_L0_SIZE)]
+        self._l0_count = 0  # events (incl. cancelled) currently in level 0
+        self._l1_count = 0  # events (incl. cancelled) currently in level 1
+        #: overflow tier: (time, seq, event) tuples, kept sorted ascending
+        self._spill: list[tuple[float, int, _Event]] = []
+        #: recycled _Event objects (the zero-allocation steady state)
+        self._free: list[_Event] = []
+        #: while a slot is being drained, this is its (min-)heap of
+        #: (time, seq, event) entries for same-tick inserts; None otherwise
+        self._active: list[tuple[float, int, _Event]] | None = None
+        #: reusable drain buffers: `_merge_buf` backs `_active` and
+        #: `_spare` replaces a detached slot list, so a steady-state
+        #: drain allocates no lists at all.  Both are empty between runs.
+        self._merge_buf: list[tuple[float, int, _Event]] = []
+        self._spare: list[_Event] = []
 
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Which queue implementation this scheduler runs on."""
+        return "wheel"
+
     @property
     def now(self) -> float:
         """Current virtual time."""
@@ -121,44 +266,641 @@ class Scheduler:
 
     @property
     def events_processed(self) -> int:
+        """Total events fired over this scheduler's lifetime."""
         return self._events_processed
 
     def pending_events(self) -> int:
         """Number of scheduled (non-cancelled) events still in the queue."""
         return self._live
 
-    # ------------------------------------------------------------------
+    # -- scheduling ------------------------------------------------------
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` to fire at absolute virtual ``time``."""
+        """Schedule ``callback(*args)`` to fire at absolute virtual ``time``.
+
+        Returns an :class:`EventHandle` for cancellation; callers that
+        never cancel should prefer :meth:`schedule_fire`, which skips the
+        handle entirely.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule an event at {time} before current time {self._now}"
             )
-        event = _Event(time, self._seq, callback, args)
-        heapq.heappush(self._heap, (time, self._seq, event))
-        self._seq += 1
+        free = self._free
+        seq = self._seq
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.state = _PENDING
+        else:
+            event = _Event(time, seq, callback, args, self)
+        self._seq = seq + 1
         self._live += 1
-        return EventHandle(event, self)
+        # _insert, inlined: scheduling is the hot path and the extra
+        # frame costs more than the tier dispatch itself.
+        tick = int(time * self._inv_quantum)
+        delta = tick - self._cursor
+        if delta < _L0_SIZE:
+            if delta > 0:
+                self._l0[tick & _L0_MASK].append(event)
+                self._l0_count += 1
+            else:
+                active = self._active
+                if active is not None:
+                    heapq.heappush(active, (time, seq, event))
+                else:
+                    self._l0[self._cursor & _L0_MASK].append(event)
+                    self._l0_count += 1
+        elif delta < _SPAN:
+            self._l1[(tick >> _L0_BITS) & _L0_MASK].append(event)
+            self._l1_count += 1
+        else:
+            insort(self._spill, (time, seq, event))
+        # EventHandle(event), without the __init__ frame.
+        handle = _new_handle(EventHandle)
+        handle._event = event
+        handle._gen = event.gen
+        handle._time = time
+        handle._cancelled = False
+        return handle
 
-    def schedule_after(
-        self, delay: float, callback: Callable[..., None], *args: Any
-    ) -> EventHandle:
+    def schedule_after(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"delay must be >= 0, got {delay}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        free = self._free
+        seq = self._seq
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.state = _PENDING
+        else:
+            event = _Event(time, seq, callback, args, self)
+        self._seq = seq + 1
+        self._live += 1
+        # _insert, inlined: scheduling is the hot path and the extra
+        # frame costs more than the tier dispatch itself.
+        tick = int(time * self._inv_quantum)
+        delta = tick - self._cursor
+        if delta < _L0_SIZE:
+            if delta > 0:
+                self._l0[tick & _L0_MASK].append(event)
+                self._l0_count += 1
+            else:
+                active = self._active
+                if active is not None:
+                    heapq.heappush(active, (time, seq, event))
+                else:
+                    self._l0[self._cursor & _L0_MASK].append(event)
+                    self._l0_count += 1
+        elif delta < _SPAN:
+            self._l1[(tick >> _L0_BITS) & _L0_MASK].append(event)
+            self._l1_count += 1
+        else:
+            insort(self._spill, (time, seq, event))
+        # EventHandle(event), without the __init__ frame.
+        handle = _new_handle(EventHandle)
+        handle._event = event
+        handle._gen = event.gen
+        handle._time = time
+        handle._cancelled = False
+        return handle
+
+    def schedule_fire(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no :class:`EventHandle`.
+
+        Semantically identical to ``schedule_at(time, callback, *args)``
+        with the returned handle dropped — same sequence numbering, same
+        ordering — but skips the handle allocation.  The data plane's
+        message deliveries use this.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} before current time {self._now}"
+            )
+        free = self._free
+        seq = self._seq
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.state = _PENDING
+        else:
+            event = _Event(time, seq, callback, args, self)
+        self._seq = seq + 1
+        self._live += 1
+        # _insert, inlined: scheduling is the hot path and the extra
+        # frame costs more than the tier dispatch itself.
+        tick = int(time * self._inv_quantum)
+        delta = tick - self._cursor
+        if delta < _L0_SIZE:
+            if delta > 0:
+                self._l0[tick & _L0_MASK].append(event)
+                self._l0_count += 1
+            else:
+                active = self._active
+                if active is not None:
+                    heapq.heappush(active, (time, seq, event))
+                else:
+                    self._l0[self._cursor & _L0_MASK].append(event)
+                    self._l0_count += 1
+        elif delta < _SPAN:
+            self._l1[(tick >> _L0_BITS) & _L0_MASK].append(event)
+            self._l1_count += 1
+        else:
+            insort(self._spill, (time, seq, event))
 
     def schedule_batch(
-        self, items: Iterable[tuple[float, Callable[..., None], tuple[Any, ...]]]
+        self,
+        items: Iterable[tuple[float, Callable[..., None], tuple[Any, ...]]],
+        *,
+        handles: bool = True,
     ) -> list[EventHandle]:
         """Schedule many ``(time, callback, args)`` events at once.
 
         Sequence numbers are assigned in item order, so the fire order of
         same-timestamp events is exactly as if each had been passed to
         :meth:`schedule_at` in turn — batching changes cost, never order.
-        A single ``heapify`` replaces k pushes when the batch is large
-        relative to the heap (O(n + k) vs. O(k log n)).
+        Validation is atomic: one bad item rejects the whole batch.
+
+        With ``handles=False`` no :class:`EventHandle` objects are created
+        and an empty list is returned — the fast path for fire-and-forget
+        fan-out (network broadcast).
         """
+        staged = list(items)
+        now = self._now
+        for time, _callback, _args in staged:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule an event at {time} before current time {now}"
+                )
+        if not staged:
+            return []
+        free = self._free
+        seq = self._seq
+        out: list[EventHandle] = []
+        l0 = self._l0
+        l1 = self._l1
+        cursor = self._cursor
+        inv = self._inv_quantum
+        active = self._active
+        for time, callback, args in staged:
+            if free:
+                event = free.pop()
+                event.time = time
+                event.seq = seq
+                event.callback = callback
+                event.args = args
+                event.state = _PENDING
+            else:
+                event = _Event(time, seq, callback, args, self)
+            # _insert, inlined across the batch loop (broadcast fan-out
+            # is the simulator's hottest scheduling site).
+            tick = int(time * inv)
+            delta = tick - cursor
+            if delta < _L0_SIZE:
+                if delta > 0:
+                    l0[tick & _L0_MASK].append(event)
+                    self._l0_count += 1
+                elif active is not None:
+                    heapq.heappush(active, (time, seq, event))
+                else:
+                    l0[cursor & _L0_MASK].append(event)
+                    self._l0_count += 1
+            elif delta < _SPAN:
+                l1[(tick >> _L0_BITS) & _L0_MASK].append(event)
+                self._l1_count += 1
+            else:
+                insort(self._spill, (time, seq, event))
+            if handles:
+                out.append(EventHandle(event))
+            seq += 1
+        self._seq = seq
+        self._live += len(staged)
+        return out
+
+    def _insert(self, event: _Event, time: float, seq: int) -> None:
+        """Place a pending event in the tier its tick belongs to."""
+        tick = int(time * self._inv_quantum)
+        delta = tick - self._cursor
+        if delta < _L0_SIZE:
+            if delta <= 0:
+                # Current slot.  While that slot is mid-drain, inserts go
+                # to its merge heap so they fire in exact (time, seq)
+                # position; otherwise they join the slot list (the clamp
+                # to the cursor slot is safe because drains sort by real
+                # (time, seq), never by tick).
+                active = self._active
+                if active is not None:
+                    heapq.heappush(active, (time, seq, event))
+                    return
+                self._l0[self._cursor & _L0_MASK].append(event)
+            else:
+                self._l0[tick & _L0_MASK].append(event)
+            self._l0_count += 1
+        elif delta < _SPAN:
+            self._l1[(tick >> _L0_BITS) & _L0_MASK].append(event)
+            self._l1_count += 1
+        else:
+            insort(self._spill, (time, seq, event))
+
+    # -- control ---------------------------------------------------------
+    def stop(self) -> None:
+        """Make the running :meth:`run` return after the current event."""
+        self._stopped = True
+
+    # -- internal maintenance -------------------------------------------
+    def _recycle(self, event: _Event) -> None:
+        event.gen += 1
+        event.callback = None  # type: ignore[assignment]
+        event.args = ()
+        free = self._free
+        if len(free) < _FREELIST_MAX:
+            free.append(event)
+
+    def _sweep(self) -> None:
+        """Drop buried cancelled events from every tier.
+
+        ``(time, seq)`` totally orders events and slot drains sort, so
+        filtering slots in place can never change the fire sequence.
+        Clean slots are detected in one counting pass and left untouched,
+        so the sweep's cost scales with the events it inspects rather
+        than with the wheel geometry.  The wheel's cascade already reaps
+        cancelled events block by block as the cursor reaches them; this
+        sweep is only the memory backstop for garbage parked far ahead
+        of the cursor, hence the high `_sweep_min` trigger.
+        """
+        recycle = self._recycle
+        for slots in (self._l0, self._l1):
+            count = 0
+            for index, slot in enumerate(slots):
+                if not slot:
+                    continue
+                live = 0
+                for event in slot:
+                    if event.state == _PENDING:
+                        live += 1
+                if live != len(slot):
+                    for event in slot:
+                        if event.state == _CANCELLED:
+                            recycle(event)
+                    slots[index] = [event for event in slot if event.state == _PENDING]
+                count += live
+            if slots is self._l0:
+                self._l0_count = count
+            else:
+                self._l1_count = count
+        spill = self._spill
+        if spill:
+            dirty = False
+            for _, _, event in spill:
+                if event.state == _CANCELLED:
+                    recycle(event)
+                    dirty = True
+            if dirty:
+                self._spill = [entry for entry in spill if entry[2].state == _PENDING]
+        self._dead = 0
+
+    def _cascade(self, block: int) -> None:
+        """Redistribute one level-1 slot into level 0 on block entry.
+
+        Cancelled events are reaped here instead of being copied down —
+        cancel-heavy workloads (timer re-arming) shed their garbage one
+        block at a time without ever needing a full sweep.
+        """
+        slot = self._l1[block & _L0_MASK]
+        if not slot:
+            return
+        self._l1[block & _L0_MASK] = []
+        self._l1_count -= len(slot)
+        l0 = self._l0
+        inv = self._inv_quantum
+        free = self._free
+        moved = 0
+        for event in slot:
+            if event.state == _PENDING:
+                l0[int(event.time * inv) & _L0_MASK].append(event)
+                moved += 1
+            else:
+                # _recycle, inlined: cancel-heavy workloads reap most of
+                # their garbage right here.
+                if self._dead > 0:
+                    self._dead -= 1
+                event.gen += 1
+                event.callback = None  # type: ignore[assignment]
+                event.args = ()
+                if len(free) < _FREELIST_MAX:
+                    free.append(event)
+        self._l0_count += moved
+
+    def _refill_from_spill(self) -> None:
+        """Pull spill events that now fit inside the wheel's span."""
+        spill = self._spill
+        if not spill:
+            return
+        inv = self._inv_quantum
+        cursor = self._cursor
+        horizon = cursor + _SPAN
+        taken = 0
+        for time, _seq, event in spill:
+            tick = int(time * inv)
+            if tick >= horizon:
+                break
+            taken += 1
+            if event.state != _PENDING:
+                if self._dead > 0:
+                    self._dead -= 1
+                self._recycle(event)
+            elif tick - cursor < _L0_SIZE:
+                self._l0[(tick if tick > cursor else cursor) & _L0_MASK].append(event)
+                self._l0_count += 1
+            else:
+                self._l1[(tick >> _L0_BITS) & _L0_MASK].append(event)
+                self._l1_count += 1
+        if taken:
+            del spill[:taken]
+
+    # -- the event loop ---------------------------------------------------
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> int:
+        """Process events in order; returns the number processed.
+
+        ``until`` — stop once the next event would fire strictly after
+        this time (and advance :attr:`now` to ``until``).  ``max_events``
+        — safety valve against runaway event loops.  With neither bound
+        the loop runs until the queue drains.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"cannot run until {until}, already at {self._now}")
+        if self._active is not None:
+            raise SimulationError("run() is not reentrant: already draining a slot")
+        self._stopped = False
+        processed = 0
+        truncated = False  # stopped early with events <= `until` still pending
+        inv = self._inv_quantum
+        until_f = _INF if until is None else until
+        limit_tick = (1 << 62) if until is None else int(until * inv)
+        limit = (1 << 62) if max_events is None else max_events
+        l0 = self._l0
+        heappush, heappop = heapq.heappush, heapq.heappop
+        free = self._free
+        while not self._stopped:
+            if processed >= limit:
+                # Garbage-independent rule (must match the heap backend):
+                # the break counts as truncated only when *live* events
+                # remain.  Cancelled leftovers are invisible — the two
+                # backends reap them at different times, so keying on
+                # them would let `now` diverge between backends.
+                if self._live:
+                    truncated = True
+                break
+            # -- locate the next non-empty slot ------------------------
+            cursor = self._cursor
+            found = False
+            while True:
+                block_start = cursor & ~_L0_MASK
+                if block_start != self._block:
+                    # First visit to this block — no matter how the
+                    # cursor got here (slot drain, block hop, or spill
+                    # jump): pull its level-1 slot down into level 0 and
+                    # top the wheel up from the spill list.  Keying the
+                    # cascade on the visited-block marker (instead of the
+                    # hop sites) also makes `until`/`max_events` breaks
+                    # safe: a block the cursor rests in without having
+                    # cascaded is cascaded first thing on the next run.
+                    self._block = block_start
+                    self._cascade(cursor >> _L0_BITS)
+                    self._refill_from_spill()
+                if cursor > limit_tick:
+                    # The cursor may legitimately rest past `until`'s tick
+                    # (it hopped over empty slots toward later work during
+                    # an earlier call).  Events scheduled since then — at
+                    # times >= now, but with ticks behind the cursor — were
+                    # clamped into the cursor's own slot, so that slot must
+                    # still be offered to the drain: its (time, seq) sort
+                    # fires exactly the events at or before `until` and
+                    # puts the rest back.  Skipping it here is how a wheel
+                    # silently strands events the heap backend would fire.
+                    if l0[cursor & _L0_MASK]:
+                        found = True
+                    break
+                if self._l0_count == 0:
+                    if self._l1_count == 0:
+                        spill = self._spill
+                        if not spill:
+                            break  # queue fully drained
+                        first_tick = int(spill[0][0] * inv)
+                        if first_tick > limit_tick:
+                            break
+                        # Jump the cursor to the spill's first block (the
+                        # spill head is always at least a full span ahead,
+                        # so the jump target is past the current block;
+                        # fall back to a one-block hop if it ever is not).
+                        jump = first_tick & ~_L0_MASK
+                        cursor = jump if jump > cursor else block_start + _L0_SIZE
+                        self._cursor = cursor
+                        continue
+                    # Level 0 is empty: hop to the next block; the visit
+                    # check above cascades and refills it.
+                    cursor = block_start + _L0_SIZE
+                    self._cursor = cursor
+                    continue
+                # Level 0 holds events: scan slots up to the block end.
+                block_end = block_start + _L0_SIZE
+                index = cursor & _L0_MASK
+                while cursor < block_end:
+                    if l0[index]:
+                        found = True
+                        break
+                    cursor += 1
+                    index = (index + 1) & _L0_MASK
+                self._cursor = cursor
+                if found:
+                    if cursor > limit_tick:
+                        found = False
+                    break
+                # cursor == block_end: loop back — the visit check hops
+                # the scan into the next block.
+            if not found:
+                break
+            # -- drain the slot ----------------------------------------
+            # The slot list is swapped against the (empty) spare and the
+            # merge heap reuses a persistent buffer: no allocations here.
+            index = cursor & _L0_MASK
+            batch = l0[index]
+            l0[index] = self._spare
+            self._spare = batch
+            self._l0_count -= len(batch)
+            if len(batch) > 1:
+                batch.sort(key=_EVENT_KEY)
+            self._active = extra = self._merge_buf
+            i = 0
+            blen = len(batch)
+            interrupted = False
+            try:
+                while True:
+                    if extra:
+                        # Rare merge path: a callback scheduled into the
+                        # slot being drained — interleave by (time, seq).
+                        if i < blen:
+                            event = batch[i]
+                            head = extra[0]
+                            if head[0] < event.time or (
+                                head[0] == event.time and head[1] < event.seq
+                            ):
+                                event = heappop(extra)[2]
+                            else:
+                                i += 1
+                        else:
+                            event = heappop(extra)[2]
+                    elif i < blen:
+                        event = batch[i]
+                        i += 1
+                    else:
+                        break
+                    if event.state != _PENDING:
+                        # lazily-deleted cancellation surfacing
+                        if self._dead > 0:
+                            self._dead -= 1
+                        event.gen += 1
+                        event.callback = None  # type: ignore[assignment]
+                        event.args = ()
+                        if len(free) < _FREELIST_MAX:
+                            free.append(event)
+                        continue
+                    time = event.time
+                    # The limit check comes first, mirroring the heap
+                    # backend's loop: when `max_events` is exhausted AND
+                    # the next event lies beyond `until`, both backends
+                    # must agree the run was truncated (clock parked)
+                    # rather than drained (clock advanced to `until`).
+                    if processed >= limit:
+                        self._putback(index, event, batch, i, extra)
+                        truncated = True
+                        interrupted = True
+                        break
+                    if time > until_f:
+                        self._putback(index, event, batch, i, extra)
+                        interrupted = True
+                        break
+                    event.state = _FIRED
+                    self._live -= 1
+                    self._now = time
+                    callback = event.callback
+                    args = event.args
+                    # Recycle before the callback runs, so a re-scheduling
+                    # callback (the chain/heartbeat pattern) reuses this
+                    # same object straight off the free list.
+                    event.gen += 1
+                    event.callback = None  # type: ignore[assignment]
+                    event.args = ()
+                    if len(free) < _FREELIST_MAX:
+                        free.append(event)
+                    callback(*args)
+                    processed += 1
+                    self._events_processed += 1
+                    if self._stopped:
+                        self._putback(index, None, batch, i, extra)
+                        interrupted = True
+                        break
+            except BaseException:
+                # A callback raised: the fired event is gone, everything
+                # undrained returns to its slot so the queue stays usable.
+                self._putback(index, None, batch, i, extra)
+                raise
+            finally:
+                # Any putback has already copied survivors out of the
+                # buffers; empty them for the next drain (`batch` is now
+                # `self._spare` and must be reinstallable as a slot).
+                self._active = None
+                del batch[:]
+                del extra[:]
+            if interrupted:
+                break
+            self._cursor = cursor + 1
+        # Only advance to `until` when every event at or before it has
+        # been processed.  After a `max_events` (or `stop()`) break,
+        # pending events earlier than `until` may remain — jumping the
+        # clock over them would make time run backwards on the next call.
+        if until is not None and not self._stopped and not truncated:
+            if self._now < until:
+                self._now = until
+        return processed
+
+    def _putback(
+        self,
+        index: int,
+        current: _Event | None,
+        batch: list[_Event],
+        i: int,
+        extra: list[tuple[float, int, _Event]],
+    ) -> None:
+        """Return undrained events to their slot after an early break."""
+        slot = self._l0[index]
+        if current is not None:
+            slot.append(current)
+        slot.extend(batch[i:])
+        slot.extend(entry[2] for entry in extra)
+        self._l0_count += len(slot)
+
+
+class _HeapScheduler(Scheduler):
+    """The original binary-heap event loop, kept as the wheel's oracle.
+
+    Selected with ``Scheduler(backend="heap")``.  Slower on large or
+    cancel-heavy runs (O(log n) inserts, whole-heap compaction) but
+    structurally simple — differential runs against the wheel backend are
+    the first tool to reach for when debugging an ordering suspicion.
+    """
+
+    def __init__(self, *, backend: str = "heap", quantum: float = _DEFAULT_QUANTUM):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, _Event]] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._stopped = False
+        self._live = 0  # pending events in the heap
+        self._dead = 0  # cancelled events awaiting lazy removal
+        self._sweep_min = _SWEEP_MIN_DEAD  # original heap compaction trigger
+        self._free: list[_Event] = []  # unused; kept for API symmetry
+
+    @property
+    def backend(self) -> str:
+        return "heap"
+
+    # -- scheduling ------------------------------------------------------
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} before current time {self._now}"
+            )
+        event = _Event(time, self._seq, callback, args, self)
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
+        self._live += 1
+        return EventHandle(event)
+
+    def schedule_after(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_fire(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        self.schedule_at(time, callback, *args)
+
+    def schedule_batch(
+        self,
+        items: Iterable[tuple[float, Callable[..., None], tuple[Any, ...]]],
+        *,
+        handles: bool = True,
+    ) -> list[EventHandle]:
         entries: list[tuple[float, int, _Event]] = []
         now = self._now
         seq = self._seq
@@ -167,7 +909,7 @@ class Scheduler:
                 raise SimulationError(
                     f"cannot schedule an event at {time} before current time {now}"
                 )
-            entries.append((time, seq, _Event(time, seq, callback, args)))
+            entries.append((time, seq, _Event(time, seq, callback, args, self)))
             seq += 1
         if not entries:
             return []
@@ -181,20 +923,12 @@ class Scheduler:
             push = heapq.heappush
             for entry in entries:
                 push(heap, entry)
-        return [EventHandle(entry[2], self) for entry in entries]
+        if not handles:
+            return []
+        return [EventHandle(entry[2]) for entry in entries]
 
-    def stop(self) -> None:
-        """Make the running :meth:`run` return after the current event."""
-        self._stopped = True
-
-    # ------------------------------------------------------------------
-    def _note_cancelled(self) -> None:
-        self._live -= 1
-        self._dead += 1
-        if self._dead >= _COMPACT_MIN_DEAD and self._dead > self._live:
-            self._compact()
-
-    def _compact(self) -> None:
+    # -- internal maintenance -------------------------------------------
+    def _sweep(self) -> None:
         """Drop buried cancelled events and rebuild the heap.
 
         ``(time, seq)`` totally orders events, so heapify after filtering
@@ -204,15 +938,8 @@ class Scheduler:
         heapq.heapify(self._heap)
         self._dead = 0
 
-    # ------------------------------------------------------------------
+    # -- the event loop ---------------------------------------------------
     def run(self, *, until: float | None = None, max_events: int | None = None) -> int:
-        """Process events in order; returns the number processed.
-
-        ``until`` — stop once the next event would fire strictly after this
-        time (and advance ``now`` to ``until``).  ``max_events`` — safety
-        valve against runaway event loops.  With neither bound the loop runs
-        until the queue drains.
-        """
         if until is not None and until < self._now:
             raise SimulationError(f"cannot run until {until}, already at {self._now}")
         self._stopped = False
@@ -222,7 +949,11 @@ class Scheduler:
         pop = heapq.heappop
         while heap and not self._stopped:
             if max_events is not None and processed >= max_events:
-                truncated = True
+                # Only live events count (the heap may still hold cancelled
+                # garbage); keeps `now` identical to the wheel backend,
+                # which reaps garbage on a different cadence.
+                if self._live:
+                    truncated = True
                 break
             event = heap[0][2]
             if event.state == _CANCELLED:
@@ -239,7 +970,7 @@ class Scheduler:
             processed += 1
             self._events_processed += 1
             if heap is not self._heap:
-                # The callback cancelled enough events to trigger compaction,
+                # The callback cancelled enough events to trigger a sweep,
                 # which rebuilt the heap: rebind the local alias.
                 heap = self._heap
         # Only advance to `until` when every event at or before it has been

@@ -60,6 +60,9 @@ class SimNetwork:
         self._lossy = loss_rate > 0.0
         self._handlers: dict[ProcessId, DeliveryHandler] = {}
         self._detached: set[ProcessId] = set()
+        #: `_handlers` minus detached pids: one dict probe decides both
+        #: "is attached" and "who receives" on the delivery hot path.
+        self._live_handlers: dict[ProcessId, DeliveryHandler] = {}
 
     # ------------------------------------------------------------------
     def register(self, pid: ProcessId, handler: DeliveryHandler) -> None:
@@ -69,14 +72,33 @@ class SimNetwork:
         if pid in self._handlers:
             raise SimulationError(f"{pid!r} is already registered")
         self._handlers[pid] = handler
+        if pid not in self._detached:
+            self._live_handlers[pid] = handler
+
+    def rebind(self, pid: ProcessId, handler: DeliveryHandler) -> None:
+        """Replace an already-registered delivery callback.
+
+        :meth:`SimProcess.bind` uses this to route deliveries straight
+        into the driver, skipping the process's relay frame on the
+        per-message hot path.
+        """
+        if pid not in self._handlers:
+            raise SimulationError(f"{pid!r} is not registered")
+        self._handlers[pid] = handler
+        if pid not in self._detached:
+            self._live_handlers[pid] = handler
 
     # -- mobility ---------------------------------------------------------
     def detach(self, pid: ProcessId) -> None:
         """The node leaves the network (mobility): no send, no receive."""
         self._detached.add(pid)
+        self._live_handlers.pop(pid, None)
 
     def attach(self, pid: ProcessId) -> None:
         self._detached.discard(pid)
+        handler = self._handlers.get(pid)
+        if handler is not None:
+            self._live_handlers[pid] = handler
 
     def is_attached(self, pid: ProcessId) -> bool:
         return pid not in self._detached
@@ -107,7 +129,9 @@ class SimNetwork:
             raise SimulationError(
                 f"latency model produced non-positive delay {delay} for {src!r}->{dst!r}"
             )
-        scheduler.schedule_at(scheduler.now + delay, self._deliver, src, dst, message)
+        # Fire-and-forget: deliveries are never cancelled, so skip the
+        # EventHandle allocation entirely.
+        scheduler.schedule_fire(scheduler.now + delay, self._deliver, src, dst, message)
         self.trace.record_message(message_kind_of(message), src)
         return True
 
@@ -151,16 +175,15 @@ class SimNetwork:
                     f"for {src!r}->{dst!r}"
                 )
             deliveries.append((now + delay, deliver, (src, dst, message)))
-        self.scheduler.schedule_batch(deliveries)
+        self.scheduler.schedule_batch(deliveries, handles=False)
         self.trace.record_messages(message_kind_of(message), src, len(deliveries))
         return len(deliveries)
 
     # ------------------------------------------------------------------
     def _deliver(self, src: ProcessId, dst: ProcessId, message: object) -> None:
-        if dst in self._detached:
-            self.trace.record_drop()
-            return
-        handler = self._handlers.get(dst)
+        # One probe of the attached-and-registered dict replaces the
+        # separate detached check and handler lookup.
+        handler = self._live_handlers.get(dst)
         if handler is None:
             self.trace.record_drop()
             return

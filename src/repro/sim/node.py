@@ -151,6 +151,12 @@ class SimProcess:
         if self.driver is not None:
             raise SimulationError(f"{self.pid!r} already has a driver")
         self.driver = driver
+        # Route deliveries straight into the driver, skipping the
+        # :meth:`deliver` relay frame.  Its liveness checks are subsumed
+        # by the network's detached-set check: :meth:`crash` and
+        # :meth:`detach` both detach this pid, so a dead or moving node
+        # never reaches the handler.
+        self.network.rebind(self.pid, driver.on_message)
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -283,7 +289,8 @@ class QueryResponseDriver:
         self._maybe_arm_close()
 
     def on_message(self, src: ProcessId, message: object) -> None:
-        if isinstance(message, Query):
+        kind = type(message)
+        if kind is Query or isinstance(message, Query):
             # Only queries can move the suspicion state (the batched T2
             # merge runs inside on_query), so the before/after snapshot is
             # taken on this branch alone.
@@ -298,7 +305,7 @@ class QueryResponseDriver:
                     process.pid, response.destination, response.message
                 )
             self._note_suspicion_change(before)
-        elif isinstance(message, Response):
+        elif kind is Response or isinstance(message, Response):
             # Response accounting never touches the suspect set (a
             # QueryDetectorCore guarantee) — no snapshots, no comparison.
             self.detector.on_response(message)
@@ -309,9 +316,11 @@ class QueryResponseDriver:
             )
 
     def _maybe_arm_close(self) -> None:
+        # `_quorum_at` first: after the quorum is armed, every further
+        # response lands here and must leave on one attribute check.
         if (
-            self.detector.collecting
-            and self._quorum_at is None
+            self._quorum_at is None
+            and self.detector.collecting
             and self.detector.quorum_reached()
         ):
             self._quorum_at = self.process.scheduler.now
