@@ -8,8 +8,10 @@ runner, the metrics each cell reports, and the tabulation layout — and
 registers itself with :func:`register_experiment`.  The harness registry,
 ``run_all``, and the CLI all resolve experiments from here, so a
 registered experiment reaches ``repro run``/``repro experiments``/CI with
-no further wiring.  External plugins register by importing before use;
-in-repo experiment modules also take one entry in ``_BUILTIN_MODULES``
+no further wiring.  External plugins register by importing before use —
+either explicitly or via the ``REPRO_PLUGINS`` environment variable
+(:mod:`repro.harness.plugins`), which the registry loads alongside the
+built-ins; in-repo experiment modules also take one entry in ``_BUILTIN_MODULES``
 (the auto-import + canonical-order mapping — a conformance test fails if
 a module registers an experiment without one).
 
@@ -345,8 +347,14 @@ def register_experiment(spec: ExperimentSpec) -> ExperimentSpec:
 
 
 def _ensure_builtin() -> None:
-    """Import the built-in experiment modules (they register on import)."""
+    """Import the built-in experiment modules (they register on import),
+    then any ``REPRO_PLUGINS`` modules — so out-of-tree experiments reach
+    every registry consumer (CLI listings, ``run_all``, distributed
+    workers) exactly like built-ins.  Plugins load *after* built-ins so a
+    plugin can resolve built-in specs at import time."""
     import importlib
+
+    from ..harness.plugins import load_plugins
 
     for exp_id, module in _BUILTIN_MODULES.items():
         if exp_id not in _REGISTRY:
@@ -356,6 +364,7 @@ def _ensure_builtin() -> None:
                     f"module {module!r} did not register experiment {exp_id!r}; "
                     "fix the _BUILTIN_MODULES mapping or the module's exp_id"
                 )
+    load_plugins()
 
 
 def get_experiment(exp_id: str) -> ExperimentSpec:

@@ -17,8 +17,19 @@ from cache.
 
 from .artifacts import artifact_name, artifact_payload, write_artifact
 from .cache import CacheStats, PruneReport, ResultCache, cache_key
+from .grid import (
+    GridStatus,
+    WorkerReport,
+    assemble_artifact,
+    ensure_manifest,
+    grid_reap,
+    grid_status,
+    run_grid_worker,
+)
+from .lease import FileLedger, LeaseLedger, LedgerCounts, SqliteLedger, open_ledger
+from .plugins import load_plugins, plugin_modules
 from .registry import all_specs, get_spec
-from .runner import CellOutcome, GridResult, run_cells, run_grid
+from .runner import CellOutcome, GridResult, evaluate_cell, run_cells, run_grid
 from .spec import ScenarioSpec, cell_seed, with_detectors, with_overrides
 from .streaming import (
     StreamedGridRun,
@@ -30,21 +41,36 @@ from .streaming import (
 __all__ = [
     "CacheStats",
     "CellOutcome",
+    "FileLedger",
     "GridResult",
+    "GridStatus",
+    "LeaseLedger",
+    "LedgerCounts",
     "PruneReport",
     "ResultCache",
     "ScenarioSpec",
+    "SqliteLedger",
     "StreamStats",
     "StreamedGridRun",
+    "WorkerReport",
     "all_specs",
     "artifact_name",
     "artifact_payload",
+    "assemble_artifact",
     "cache_key",
     "cell_seed",
+    "ensure_manifest",
+    "evaluate_cell",
     "get_spec",
+    "grid_reap",
+    "grid_status",
+    "load_plugins",
+    "open_ledger",
+    "plugin_modules",
     "run_cells",
     "run_grid",
     "run_grid_streaming",
+    "run_grid_worker",
     "stream_outcomes",
     "with_detectors",
     "with_overrides",

@@ -54,10 +54,16 @@ def cache_key(exp_id: str, params: Any, coords: Mapping[str, Any], seed: int) ->
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Size of a cache directory."""
+    """Size of a cache directory.
+
+    ``corrupt`` is only meaningful from :meth:`ResultCache.stats` with
+    ``verify=True`` (each entry parsed and key-checked); the cheap scan
+    reports it as 0.
+    """
 
     entries: int
     total_bytes: int
+    corrupt: int = 0
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,12 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: entries that *existed* but failed to parse or verify — every
+        #: corrupt read also counts as a miss (the value is recomputed),
+        #: but corruption is a distinct signal: on a shared cache it means
+        #: torn writes or bit rot, not a cold cache, and the end-of-run
+        #: summary surfaces it instead of silently recomputing.
+        self.corrupt = 0
 
     def key_for(self, exp_id: str, params: Any, coords: Mapping[str, Any]) -> str:
         return cache_key(exp_id, params, coords, cell_seed(exp_id, coords, params.seed))
@@ -85,16 +97,27 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Any | None:
-        """The cached value, or None.  Corrupt entries read as misses."""
+        """The cached value, or None.
+
+        Corrupt entries (present but unparseable, or recording a
+        different key) read as misses *and* increment :attr:`corrupt`;
+        an absent entry is a plain miss.
+        """
         path = self._path(key)
         try:
-            with path.open("r", encoding="utf-8") as fh:
+            fh = path.open("r", encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            with fh:
                 entry = json.load(fh)
             if entry["key"] != key:
                 raise KeyError(key)
             value = entry["value"]
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            self.corrupt += 1
             return None
         self.hits += 1
         self._touch(path)
@@ -140,14 +163,32 @@ class ResultCache:
                 except OSError:
                     continue
 
-    def stats(self) -> CacheStats:
-        """Entry count and total size of the cache directory."""
+    def stats(self, *, verify: bool = False) -> CacheStats:
+        """Entry count and total size of the cache directory.
+
+        ``verify=True`` additionally parses every entry and checks its
+        recorded key against its filename, reporting how many are
+        corrupt — the shared-cache health check behind
+        ``repro cache info --verify``.
+        """
         entries = 0
         total = 0
-        for _path, stat in self._entries():
+        corrupt = 0
+        for path, stat in self._entries():
             entries += 1
             total += stat.st_size
-        return CacheStats(entries=entries, total_bytes=total)
+            if verify and not self._verify(path):
+                corrupt += 1
+        return CacheStats(entries=entries, total_bytes=total, corrupt=corrupt)
+
+    @staticmethod
+    def _verify(path: Path) -> bool:
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            return entry["key"] == path.stem and "value" in entry
+        except (OSError, ValueError, KeyError, TypeError):
+            return False
 
     def prune(
         self,

@@ -9,8 +9,13 @@ Examples::
     python -m repro run t1 --detector heartbeat --detector phi
     python -m repro run t1 -p sizes=[8] -p trials=1
     python -m repro run q1 --dry-run
+    python -m repro run t1 --dry-run --worker-id 2/4      # preview a shard split
+    python -m repro run t1 --workers-dir /shared/run1 --worker-id 2/4
+    python -m repro run t1 --workers-dir /shared/run1 --steal
+    python -m repro grid status --workers-dir /shared/run1
+    python -m repro grid reap --workers-dir /shared/run1
     python -m repro bench --events 200000 --out results/
-    python -m repro cache info --dir results/.cache
+    python -m repro cache info --dir results/.cache --verify
     python -m repro cache prune --dir results/.cache --max-age-days 30 --max-size-mb 512
 
 ``run`` evaluates each named grid (all of them with no names given),
@@ -23,7 +28,19 @@ cached by content hash under ``<out>/.cache`` (override with
 ``--cache-dir``, disable with ``--no-cache``): re-running an unchanged
 grid is served entirely from cache and rewrites byte-identical artifacts.
 ``--dry-run`` prints each grid's cell list (coordinates + derived seeds)
-without executing anything.
+without executing anything; combined with ``--worker-id k/N`` it prints
+the static shard assignment instead (cells per worker, this worker's
+cells and seeds) so a split can be sanity-checked before launching hosts.
+
+``--workers-dir SHARED`` joins (or starts) a **distributed** run of one
+experiment: grid cells become leases in a shared-directory ledger, every
+worker writes results through the shared cache under ``SHARED/cache``,
+and whichever worker sees the last cell complete assembles the artifact
+— byte-identical to a single-host run.  Pick a scheduling mode per
+worker: ``--worker-id k/N`` (static shard) or ``--steal`` (claim any
+available cell; survivors drain dead workers' expired leases).  ``repro
+grid status``/``reap`` observe and unstick a run; see
+``docs/distributed.md`` for the protocol and failure model.
 
 ``experiments`` mirrors ``detectors`` for the experiment registry: every
 registered experiment with its axes and default/full grid sizes.
@@ -107,6 +124,45 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--markdown", action="store_true", help="markdown tables")
     run.add_argument("--quiet", action="store_true", help="no tables, just a summary line")
+    run.add_argument(
+        "--workers-dir",
+        default=None,
+        metavar="SHARED",
+        help="distributed mode: shared ledger directory all workers can reach "
+        "(one experiment per run directory)",
+    )
+    run.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="K/N",
+        help="static shard: this worker claims cells with index %% N == K-1 "
+        "(with --dry-run: just print the assignment)",
+    )
+    run.add_argument(
+        "--steal",
+        action="store_true",
+        help="work stealing: claim any available cell, including dead "
+        "workers' expired leases",
+    )
+    run.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="lease lifetime without a heartbeat (default: 60); cells of a "
+        "worker dead this long are reclaimed",
+    )
+    run.add_argument(
+        "--worker-name",
+        default=None,
+        help="lease owner label (default: <hostname>-<pid>)",
+    )
+    run.add_argument(
+        "--ledger-backend",
+        choices=["auto", "sqlite", "file"],
+        default="auto",
+        help="lease ledger backend (auto: sqlite if it locks, else claim files)",
+    )
 
     commands.add_parser(
         "experiments", help="list registered experiments (axes + grid sizes)"
@@ -146,6 +202,13 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--dir", default="results/.cache", help="cache directory (default: results/.cache)"
         )
+        if name == "info":
+            sub.add_argument(
+                "--verify",
+                action="store_true",
+                help="parse every entry and report corrupt ones (shared-cache "
+                "health check; slower)",
+            )
         if name == "prune":
             sub.add_argument(
                 "--max-age-days", type=float, default=None, help="drop entries older than this"
@@ -156,6 +219,26 @@ def _build_parser() -> argparse.ArgumentParser:
                 default=None,
                 help="then drop oldest entries until the cache fits",
             )
+
+    grid = commands.add_parser(
+        "grid", help="observe / unstick a distributed run (--workers-dir)"
+    )
+    grid_commands = grid.add_subparsers(dest="grid_command", required=True)
+    for name, help_text in (
+        ("status", "cells done/leased/pending per worker"),
+        ("reap", "reset expired leases to pending immediately"),
+    ):
+        sub = grid_commands.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--workers-dir", required=True, metavar="SHARED",
+            help="the run's shared ledger directory",
+        )
+        sub.add_argument(
+            "--ledger-backend",
+            choices=["auto", "sqlite", "file"],
+            default="auto",
+            help="lease ledger backend (default: whatever the run uses)",
+        )
     return parser
 
 
@@ -204,9 +287,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment ids: {unknown}; choose from {sorted(specs)}", file=sys.stderr)
         return 2
+    distributed = args.workers_dir is not None
+    if distributed:
+        if args.steal == (args.worker_id is not None):
+            print("--workers-dir needs exactly one mode: --worker-id K/N or --steal",
+                  file=sys.stderr)
+            return 2
+        if args.no_cache:
+            print("--workers-dir requires the shared cache (it carries results "
+                  "between workers); drop --no-cache", file=sys.stderr)
+            return 2
+        if args.stream:
+            print("--stream is implied by --workers-dir (assembly always "
+                  "streams); drop the flag", file=sys.stderr)
+            return 2
+        if len(wanted) != 1:
+            print("--workers-dir runs exactly one experiment per run directory; "
+                  f"got {wanted}", file=sys.stderr)
+            return 2
+    elif args.steal or (args.worker_id is not None and not args.dry_run):
+        print("--steal/--worker-id need --workers-dir (or --dry-run to preview "
+              "a shard)", file=sys.stderr)
+        return 2
     cache = None
     if not args.no_cache:
-        cache_dir = args.cache_dir if args.cache_dir is not None else f"{args.out}/.cache"
+        if args.cache_dir is not None:
+            cache_dir = args.cache_dir
+        elif distributed:
+            # The data plane of a distributed run: must be shared, so it
+            # defaults into the shared workers dir, not the local --out.
+            cache_dir = f"{args.workers_dir}/cache"
+        else:
+            cache_dir = f"{args.out}/.cache"
         cache = ResultCache(cache_dir)
     # Resolve every grid's params up front: a bad --detector/-p combination
     # on the last experiment must fail in milliseconds, not after earlier
@@ -229,17 +341,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("--max-resident requires --stream", file=sys.stderr)
         return 2
     if args.dry_run:
+        shard = None
+        if args.worker_id is not None:
+            from .grid import parse_worker_id
+
+            try:
+                shard = parse_worker_id(args.worker_id)
+            except ConfigurationError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
         for exp_id, params in prepared:
             spec = specs[exp_id]
             cells = spec.grid(params)
-            print(f"{exp_id}: {len(cells)} cells (nothing executed)")
-            for index, coords in enumerate(cells):
+            if shard is not None:
+                from .grid import shard_indices
+
+                k, n = shard
+                per_worker = [len(shard_indices(len(cells), i, n)) for i in range(1, n + 1)]
+                split = ", ".join(f"{i + 1}/{n}:{c}" for i, c in enumerate(per_worker))
+                indices = shard_indices(len(cells), k, n)
+                print(
+                    f"{exp_id}: {len(cells)} cells; shard {k}/{n} claims "
+                    f"{len(indices)} (split {split}) (nothing executed)"
+                )
+            else:
+                indices = range(len(cells))
+                print(f"{exp_id}: {len(cells)} cells (nothing executed)")
+            for index in indices:
+                coords = cells[index]
                 seed = cell_seed(spec.exp_id, coords, params.seed)
                 print(f"  [{index:>3}] {json.dumps(coords, sort_keys=True)} seed={seed}")
         return 0
+    if distributed:
+        return _run_distributed(args, specs, prepared, cache)
     for exp_id, params in prepared:
         spec = specs[exp_id]
         started = time.perf_counter()
+        corrupt_before = cache.corrupt if cache is not None else 0
         try:
             # Misconfiguration can also surface while the grid wires up its
             # detectors (e.g. a family with a required param like partial's
@@ -271,6 +409,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"{exp_id}: {exc}", file=sys.stderr)
             return 2
         elapsed = time.perf_counter() - started
+        corrupt = (cache.corrupt - corrupt_before) if cache is not None else 0
+        if corrupt:
+            # A corrupt entry was recomputed, not served — but on a shared
+            # cache it means torn writes or rot, so say it loudly.
+            detail = f", {corrupt} corrupt cache entr{'y' if corrupt == 1 else 'ies'} recomputed{detail}"
         if not args.quiet:
             for table in tables:
                 print(table.render_markdown() if args.markdown else table.render())
@@ -278,6 +421,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"[{exp_id}: {cells_run} cells "
             f"({hits} cached) in {elapsed:.1f}s{detail} -> {path}]"
+        )
+    return 0
+
+
+def _run_distributed(args, specs, prepared, cache) -> int:
+    """One worker's share of a distributed run (``--workers-dir``)."""
+    from .grid import parse_worker_id, run_grid_worker
+
+    [(exp_id, params)] = prepared
+    spec = specs[exp_id]
+    try:
+        shard = parse_worker_id(args.worker_id) if args.worker_id else None
+        started = time.perf_counter()
+        report = run_grid_worker(
+            spec,
+            params,
+            args.workers_dir,
+            args.out,
+            cache=cache,
+            worker=args.worker_name,
+            shard=shard,
+            steal=args.steal,
+            ttl=args.lease_ttl,
+            backend=args.ledger_backend,
+        )
+    except ConfigurationError as exc:
+        print(f"{exp_id}: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    counts = report.counts
+    summary = (
+        f"[{exp_id} worker {report.worker}: {report.completed} cells "
+        f"({report.ran} ran, {report.cached} cached) in {elapsed:.1f}s; "
+        f"grid {counts.done}/{counts.total} done"
+    )
+    if cache is not None and cache.corrupt:
+        summary += f"; {cache.corrupt} corrupt cache entries recomputed"
+    if report.artifact is not None:
+        if not args.quiet:
+            for table in report.tables:
+                print(table.render_markdown() if args.markdown else table.render())
+                print()
+        print(f"{summary} -> {report.artifact}]")
+    else:
+        print(
+            f"{summary}; artifact pending "
+            f"(`repro grid status --workers-dir {args.workers_dir}`)]"
         )
     return 0
 
@@ -324,9 +514,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.dir)
     if args.cache_command == "info":
-        stats = cache.stats()
-        print(f"{args.dir}: {stats.entries} entries, {stats.total_bytes / 1e6:.1f} MB")
-        return 0
+        stats = cache.stats(verify=args.verify)
+        line = f"{args.dir}: {stats.entries} entries, {stats.total_bytes / 1e6:.1f} MB"
+        if args.verify:
+            line += f", {stats.corrupt} corrupt"
+        print(line)
+        return 1 if args.verify and stats.corrupt else 0
     try:
         report = cache.prune(
             max_age_seconds=(
@@ -346,6 +539,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from .grid import grid_reap, grid_status
+
+    try:
+        if args.grid_command == "status":
+            print(grid_status(args.workers_dir, args.ledger_backend).render())
+        else:
+            reclaimed = grid_reap(args.workers_dir, args.ledger_backend)
+            print(f"reaped {reclaimed} expired lease(s) back to pending")
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command in ("experiments", "list"):
@@ -356,6 +564,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "grid":
+        return _cmd_grid(args)
     return _cmd_run(args)
 
 

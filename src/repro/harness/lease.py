@@ -1,0 +1,559 @@
+"""Lease ledger: per-cell work leases on a shared directory.
+
+The distributed grid runner (:mod:`repro.harness.grid`) coordinates
+workers through a **ledger** living in a directory every host can reach.
+Each grid cell is one row with a lifecycle::
+
+    pending ──claim──▶ leased ──complete──▶ done
+       ▲                  │
+       └──expiry / reap───┘
+
+A *lease* is ownership with a deadline: ``claim`` hands the lowest
+claimable cell to a worker and stamps ``now + ttl``; ``renew`` (the
+heartbeat) pushes the deadline forward; a lease whose deadline passes is
+claimable again by anyone — that is the whole failure model.  ``done`` is
+terminal and unconditional: a cell's value lives in the content-hash
+:class:`~repro.harness.cache.ResultCache` before ``complete`` is called,
+so marking done merely records that the value exists.
+
+Correctness does **not** rest on leases.  Cells are pure functions of
+``(params, coords, seed)`` and cache writes are atomic, so the worst
+outcome of any race (two workers both concluding they hold an expired
+lease) is the same cell computed twice with byte-identical results.
+Leases are the efficiency mechanism that makes duplication rare, not the
+safety mechanism that makes it harmless.
+
+Two interchangeable backends:
+
+* :class:`SqliteLedger` — one ``ledger.sqlite`` file, claims serialised
+  with ``BEGIN IMMEDIATE`` transactions.  The default where SQLite's
+  file locking works (local disks, most cluster filesystems).
+* :class:`FileLedger` — one lease file per cell under ``leases/`` plus a
+  ``done/`` marker per completed cell, claimed by atomic ``os.link`` (an
+  exclusive create) and stolen by atomic ``os.replace``.  For NFS mounts
+  where SQLite locking is unreliable; the steal race described above is
+  possible here and benign.
+
+:func:`open_ledger` picks the backend: whatever already exists in the
+directory wins (workers joining a run must agree), otherwise the
+requested or auto-probed backend creates it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "LedgerCounts",
+    "LeaseLedger",
+    "SqliteLedger",
+    "FileLedger",
+    "open_ledger",
+    "detect_backend",
+]
+
+#: default seconds a lease lives without a heartbeat
+DEFAULT_TTL = 60.0
+
+
+@dataclass(frozen=True)
+class LedgerCounts:
+    """One consistent snapshot of a ledger's cell states.
+
+    ``leased`` counts only *live* leases (deadline in the future);
+    ``expired`` are leased rows whose deadline passed — claimable, and
+    what ``reap`` resets to pending explicitly.
+    """
+
+    total: int
+    pending: int
+    leased: int
+    expired: int
+    done: int
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+    @property
+    def all_done(self) -> bool:
+        return self.done == self.total
+
+
+class LeaseLedger:
+    """Backend-independent lease operations (see module docstring)."""
+
+    backend = "abstract"
+
+    def claim(
+        self,
+        owner: str,
+        *,
+        now: float | None = None,
+        ttl: float = DEFAULT_TTL,
+        shard: tuple[int, int] | None = None,
+    ) -> int | None:
+        """Lease the lowest claimable cell index, or ``None``.
+
+        Claimable: pending, or leased with an expired deadline.  ``shard``
+        = ``(k, n)`` restricts claims to indices with ``index % n == k``
+        (static sharding); ``None`` claims anywhere (work stealing).
+        """
+        raise NotImplementedError
+
+    def renew(self, owner: str, index: int, *, now: float | None = None,
+              ttl: float = DEFAULT_TTL) -> bool:
+        """Extend ``owner``'s lease on ``index``; False if no longer held."""
+        raise NotImplementedError
+
+    def complete(self, owner: str, index: int) -> None:
+        """Mark ``index`` done (unconditional — see module docstring)."""
+        raise NotImplementedError
+
+    def release(self, owner: str, index: int) -> None:
+        """Drop an unfinished lease so the cell is immediately claimable."""
+        raise NotImplementedError
+
+    def reap(self, *, now: float | None = None) -> int:
+        """Reset expired leases to pending; returns how many were reclaimed."""
+        raise NotImplementedError
+
+    def counts(self, *, now: float | None = None) -> LedgerCounts:
+        raise NotImplementedError
+
+    def owners(self, *, now: float | None = None) -> dict[str, int]:
+        """Live lease count per owner (observability for ``grid status``)."""
+        raise NotImplementedError
+
+    def done_indices(self) -> set[int]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "LeaseLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _now(now: float | None) -> float:
+    return time.time() if now is None else now
+
+
+# ---------------------------------------------------------------------------
+# SQLite backend
+# ---------------------------------------------------------------------------
+
+_SQLITE_NAME = "ledger.sqlite"
+_BUSY_TIMEOUT_MS = 30_000
+
+
+class SqliteLedger(LeaseLedger):
+    """Leases as rows of one SQLite table, claims serialised by the DB.
+
+    ``BEGIN IMMEDIATE`` takes the write lock up front, so a claim's
+    read-pick-update is atomic against every other process; readers
+    (``counts``/``owners``) need no transaction.  One connection per
+    instance — threads must open their own instance (the heartbeat
+    thread in :mod:`repro.harness.grid` does).
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, root: str | os.PathLike, total: int) -> None:
+        import sqlite3
+
+        self.root = Path(root)
+        self.total = total
+        self._db = sqlite3.connect(
+            self.root / _SQLITE_NAME, timeout=_BUSY_TIMEOUT_MS / 1000.0,
+            isolation_level=None,
+        )
+        self._db.execute(f"PRAGMA busy_timeout = {_BUSY_TIMEOUT_MS}")
+        self._db.execute("BEGIN IMMEDIATE")
+        try:
+            self._db.execute(
+                "CREATE TABLE IF NOT EXISTS cells ("
+                "  idx INTEGER PRIMARY KEY,"
+                "  state TEXT NOT NULL DEFAULT 'pending',"
+                "  owner TEXT,"
+                "  deadline REAL,"
+                "  attempts INTEGER NOT NULL DEFAULT 0)"
+            )
+            self._db.executemany(
+                "INSERT OR IGNORE INTO cells (idx) VALUES (?)",
+                ((i,) for i in range(total)),
+            )
+            self._db.execute("COMMIT")
+        except BaseException:
+            self._db.execute("ROLLBACK")
+            raise
+
+    def claim(self, owner, *, now=None, ttl=DEFAULT_TTL, shard=None):
+        now = _now(now)
+        where = "(state = 'pending' OR (state = 'leased' AND deadline < :now))"
+        args = {"now": now, "owner": owner, "deadline": now + ttl}
+        if shard is not None:
+            k, n = shard
+            where += " AND idx % :n = :k"
+            args.update(n=n, k=k)
+        self._db.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._db.execute(
+                f"SELECT idx FROM cells WHERE {where} ORDER BY idx LIMIT 1", args
+            ).fetchone()
+            if row is None:
+                self._db.execute("COMMIT")
+                return None
+            self._db.execute(
+                "UPDATE cells SET state = 'leased', owner = :owner,"
+                " deadline = :deadline, attempts = attempts + 1 WHERE idx = :idx",
+                {**args, "idx": row[0]},
+            )
+            self._db.execute("COMMIT")
+        except BaseException:
+            self._db.execute("ROLLBACK")
+            raise
+        return row[0]
+
+    def renew(self, owner, index, *, now=None, ttl=DEFAULT_TTL):
+        cursor = self._db.execute(
+            "UPDATE cells SET deadline = ? WHERE idx = ? AND owner = ?"
+            " AND state = 'leased'",
+            (_now(now) + ttl, index, owner),
+        )
+        return cursor.rowcount == 1
+
+    def complete(self, owner, index):
+        self._db.execute(
+            "UPDATE cells SET state = 'done', owner = ?, deadline = NULL"
+            " WHERE idx = ?",
+            (owner, index),
+        )
+
+    def release(self, owner, index):
+        self._db.execute(
+            "UPDATE cells SET state = 'pending', owner = NULL, deadline = NULL"
+            " WHERE idx = ? AND owner = ? AND state = 'leased'",
+            (index, owner),
+        )
+
+    def reap(self, *, now=None):
+        cursor = self._db.execute(
+            "UPDATE cells SET state = 'pending', owner = NULL, deadline = NULL"
+            " WHERE state = 'leased' AND deadline < ?",
+            (_now(now),),
+        )
+        return cursor.rowcount
+
+    def counts(self, *, now=None):
+        now = _now(now)
+        pending = leased = expired = done = 0
+        for state, deadline, count in self._db.execute(
+            "SELECT state, deadline >= ?, COUNT(*) FROM cells"
+            " GROUP BY state, deadline >= ?",
+            (now, now),
+        ):
+            if state == "done":
+                done += count
+            elif state == "pending":
+                pending += count
+            elif deadline:
+                leased += count
+            else:
+                expired += count
+        return LedgerCounts(
+            total=self.total, pending=pending, leased=leased,
+            expired=expired, done=done,
+        )
+
+    def owners(self, *, now=None):
+        return dict(
+            self._db.execute(
+                "SELECT owner, COUNT(*) FROM cells"
+                " WHERE state = 'leased' AND deadline >= ? GROUP BY owner",
+                (_now(now),),
+            )
+        )
+
+    def done_indices(self):
+        return {
+            idx for (idx,) in
+            self._db.execute("SELECT idx FROM cells WHERE state = 'done'")
+        }
+
+    def close(self):
+        self._db.close()
+
+
+# ---------------------------------------------------------------------------
+# claim-file backend
+# ---------------------------------------------------------------------------
+
+_LEASE_DIR = "leases"
+_DONE_DIR = "done"
+
+
+class FileLedger(LeaseLedger):
+    """Leases as one JSON file per cell, claimed by atomic link.
+
+    A fresh claim writes a temp file and ``os.link``\\ s it to
+    ``leases/<idx>.json`` — an exclusive create, atomic on POSIX
+    filesystems including NFS (unlike ``O_EXCL`` on NFSv2).  A steal of
+    an expired lease is ``os.replace``: atomic, but two stealers can both
+    succeed back to back, which the module docstring explains is benign.
+    ``done/<idx>`` markers are empty files, created the same way and
+    never removed.
+    """
+
+    backend = "file"
+
+    def __init__(self, root: str | os.PathLike, total: int) -> None:
+        self.root = Path(root)
+        self.total = total
+        self._leases = self.root / _LEASE_DIR
+        self._done = self.root / _DONE_DIR
+        self._leases.mkdir(parents=True, exist_ok=True)
+        self._done.mkdir(parents=True, exist_ok=True)
+        #: indices this instance has already seen completed — done is
+        #: terminal, so the set only grows and stat calls are saved.
+        self._known_done: set[int] = set()
+
+    def _lease_path(self, index: int) -> Path:
+        return self._leases / f"{index}.json"
+
+    def _done_path(self, index: int) -> Path:
+        return self._done / str(index)
+
+    def _is_done(self, index: int) -> bool:
+        if index in self._known_done:
+            return True
+        if self._done_path(index).exists():
+            self._known_done.add(index)
+            return True
+        return False
+
+    def _read_lease(self, index: int) -> dict | None:
+        try:
+            with self._lease_path(index).open("r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            # Vanished (completed/reaped) or mid-write by another host:
+            # treat as unreadable now; the caller just moves on.
+            return None
+
+    def _write_lease(self, index: int, owner: str, deadline: float,
+                     attempts: int, *, steal: bool) -> bool:
+        payload = json.dumps(
+            {"owner": owner, "deadline": deadline, "attempts": attempts}
+        )
+        fd, tmp = tempfile.mkstemp(dir=self._leases, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            if steal:
+                os.replace(tmp, self._lease_path(index))
+                return True
+            try:
+                os.link(tmp, self._lease_path(index))
+            except FileExistsError:
+                return False
+            return True
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def claim(self, owner, *, now=None, ttl=DEFAULT_TTL, shard=None):
+        now = _now(now)
+        for index in range(self.total):
+            if shard is not None and index % shard[1] != shard[0]:
+                continue
+            if self._is_done(index):
+                continue
+            lease = self._read_lease(index)
+            if lease is None:
+                if self._write_lease(index, owner, now + ttl, 1, steal=False):
+                    if self._is_done(index):
+                        # Lost race: completed between our scan and link.
+                        continue
+                    return index
+                continue  # someone else linked first
+            if lease["deadline"] >= now:
+                continue  # live lease
+            # Expired: steal. Two stealers can both pass this point — the
+            # benign duplicated-work race (results are byte-identical).
+            self._write_lease(
+                index, owner, now + ttl, lease.get("attempts", 0) + 1, steal=True
+            )
+            if self._is_done(index):
+                continue
+            return index
+        return None
+
+    def renew(self, owner, index, *, now=None, ttl=DEFAULT_TTL):
+        lease = self._read_lease(index)
+        if lease is None or lease["owner"] != owner or self._is_done(index):
+            return False
+        self._write_lease(
+            index, owner, _now(now) + ttl, lease.get("attempts", 1), steal=True
+        )
+        return True
+
+    def complete(self, owner, index):
+        try:
+            self._done_path(index).touch()
+        except OSError:
+            pass
+        self._known_done.add(index)
+        try:
+            os.unlink(self._lease_path(index))
+        except OSError:
+            pass
+
+    def release(self, owner, index):
+        lease = self._read_lease(index)
+        if lease is not None and lease["owner"] == owner:
+            try:
+                os.unlink(self._lease_path(index))
+            except OSError:
+                pass
+
+    def reap(self, *, now=None):
+        now = _now(now)
+        reclaimed = 0
+        for index in range(self.total):
+            if self._is_done(index):
+                continue
+            lease = self._read_lease(index)
+            if lease is not None and lease["deadline"] < now:
+                try:
+                    os.unlink(self._lease_path(index))
+                except OSError:
+                    continue
+                reclaimed += 1
+        return reclaimed
+
+    def counts(self, *, now=None):
+        now = _now(now)
+        pending = leased = expired = done = 0
+        for index in range(self.total):
+            if self._is_done(index):
+                done += 1
+                continue
+            lease = self._read_lease(index)
+            if lease is None:
+                pending += 1
+            elif lease["deadline"] >= now:
+                leased += 1
+            else:
+                expired += 1
+        return LedgerCounts(
+            total=self.total, pending=pending, leased=leased,
+            expired=expired, done=done,
+        )
+
+    def owners(self, *, now=None):
+        now = _now(now)
+        tally: dict[str, int] = {}
+        for index in range(self.total):
+            if self._is_done(index):
+                continue
+            lease = self._read_lease(index)
+            if lease is not None and lease["deadline"] >= now:
+                tally[lease["owner"]] = tally.get(lease["owner"], 0) + 1
+        return tally
+
+    def done_indices(self):
+        done = set()
+        for path in self._done.iterdir():
+            try:
+                done.add(int(path.name))
+            except ValueError:
+                continue
+        self._known_done |= done
+        return done
+
+
+# ---------------------------------------------------------------------------
+# backend selection
+# ---------------------------------------------------------------------------
+
+BACKENDS = ("auto", "sqlite", "file")
+
+
+def detect_backend(root: str | os.PathLike) -> str | None:
+    """The backend already present in ``root``, or ``None`` if fresh."""
+    root = Path(root)
+    if (root / _SQLITE_NAME).exists():
+        return "sqlite"
+    if (root / _LEASE_DIR).is_dir() or (root / _DONE_DIR).is_dir():
+        return "file"
+    return None
+
+
+def _sqlite_works(root: Path) -> bool:
+    """Probe whether SQLite can create and lock a database under ``root``."""
+    try:
+        import sqlite3
+
+        probe = root / ".sqlite-probe"
+        db = sqlite3.connect(probe)
+        try:
+            db.execute("BEGIN IMMEDIATE")
+            db.execute("CREATE TABLE IF NOT EXISTS probe (x)")
+            db.execute("COMMIT")
+        finally:
+            db.close()
+            try:
+                os.unlink(probe)
+            except OSError:
+                pass
+        return True
+    except Exception:
+        return False
+
+
+def open_ledger(
+    root: str | os.PathLike,
+    total: int,
+    backend: str = "auto",
+    indices: Sequence[int] | None = None,
+) -> LeaseLedger:
+    """Open (creating if needed) the ledger in ``root``.
+
+    An existing ledger's backend always wins — workers joining a run must
+    share one ledger, so a ``backend`` argument that contradicts what is
+    on disk is a :class:`~repro.errors.ConfigurationError`, not a second
+    ledger.  On a fresh directory ``auto`` probes SQLite and falls back
+    to the claim-file backend (the NFS-safe choice) when the probe fails.
+    """
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown ledger backend {backend!r}; choose from {list(BACKENDS)}"
+        )
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    existing = detect_backend(root)
+    if existing is not None:
+        if backend not in ("auto", existing):
+            raise ConfigurationError(
+                f"ledger in {root} uses the {existing!r} backend; "
+                f"cannot join it with --ledger-backend {backend}"
+            )
+        backend = existing
+    elif backend == "auto":
+        backend = "sqlite" if _sqlite_works(root) else "file"
+    cls = SqliteLedger if backend == "sqlite" else FileLedger
+    return cls(root, total)

@@ -1,0 +1,65 @@
+"""Out-of-tree plugin loading (``REPRO_PLUGINS``).
+
+Experiments and detectors register themselves at import time
+(:func:`repro.experiments.api.register_experiment`,
+:func:`repro.detectors.register_detector`), so loading a plugin is just
+importing a module.  ``REPRO_PLUGINS`` names the modules to import —
+comma- or colon-separated, e.g.::
+
+    REPRO_PLUGINS=mylab.experiments,mylab.detectors repro run zz ...
+
+:func:`load_plugins` is called by the experiment registry before any
+listing or lookup, so plugin experiments appear everywhere built-ins do
+(``repro experiments``, ``repro run``, ``run_all``, conformance hooks)
+with no further wiring.
+
+Distributed runs make the plugin set part of the contract: the run
+manifest (:mod:`repro.harness.grid`) records the submitter's plugin list,
+and a worker whose own loaded list differs is refused — a worker missing
+a plugin could not evaluate its cells, and a worker with *extra*
+registrations may disagree about what the grid even is.  The list is
+kept sorted so comparison is order-independent.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import re
+
+from ..errors import ConfigurationError
+
+__all__ = ["PLUGIN_ENV", "plugin_modules", "load_plugins"]
+
+PLUGIN_ENV = "REPRO_PLUGINS"
+
+_SPLIT = re.compile(r"[,:]")
+
+
+def plugin_modules(value: str | None = None) -> tuple[str, ...]:
+    """The plugin module names requested by ``REPRO_PLUGINS``, sorted.
+
+    ``value`` overrides the environment (for tests and for recording a
+    manifest's list).  Empty segments are ignored; duplicates collapse.
+    """
+    raw = os.environ.get(PLUGIN_ENV, "") if value is None else value
+    return tuple(sorted({name.strip() for name in _SPLIT.split(raw) if name.strip()}))
+
+
+def load_plugins(value: str | None = None) -> tuple[str, ...]:
+    """Import every requested plugin module; returns the sorted name list.
+
+    Importing an already-imported module is a no-op, so calling this on
+    every registry access is cheap.  An unimportable module is a
+    :class:`~repro.errors.ConfigurationError` naming the module — plugin
+    typos must fail loudly, not silently shrink the experiment set.
+    """
+    names = plugin_modules(value)
+    for name in names:
+        try:
+            importlib.import_module(name)
+        except ImportError as exc:
+            raise ConfigurationError(
+                f"{PLUGIN_ENV} names module {name!r} which cannot be imported: {exc}"
+            ) from exc
+    return names

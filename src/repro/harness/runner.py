@@ -22,7 +22,7 @@ from typing import Any, Mapping, Sequence
 from .cache import ResultCache, cache_key
 from .spec import ScenarioSpec, canonical_json, cell_seed
 
-__all__ = ["CellOutcome", "GridResult", "run_grid", "run_cells"]
+__all__ = ["CellOutcome", "GridResult", "run_grid", "run_cells", "evaluate_cell"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,36 @@ def _normalise(value: Any) -> Any:
 def _evaluate(run_cell, params, coords, seed):
     """Top-level worker entry point (must be picklable by name)."""
     return run_cell(params, coords, seed)
+
+
+def evaluate_cell(
+    spec: ScenarioSpec,
+    params: Any,
+    coords: Mapping[str, Any],
+    seed: int,
+    *,
+    cache: ResultCache | None = None,
+    key: str | None = None,
+) -> tuple[Any, bool]:
+    """Resolve one cell through the cache: ``(normalised value, was_hit)``.
+
+    The single-cell form of what :func:`run_grid` does per grid — shared
+    with the distributed worker loop (:mod:`repro.harness.grid`), whose
+    unit of scheduling is one leased cell, not one grid.  A fresh result
+    is written through to ``cache`` before returning, so on a shared
+    cache the value is visible to every other worker (and to whichever
+    worker later assembles the artifact).
+    """
+    if cache is not None:
+        if key is None:
+            key = cache_key(spec.exp_id, params, coords, seed)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached, True
+    value = _normalise(spec.run_cell(params, dict(coords), seed))
+    if cache is not None:
+        cache.put(key, value)
+    return value, False
 
 
 def run_grid(

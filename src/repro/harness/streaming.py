@@ -38,8 +38,10 @@ __all__ = [
     "DEFAULT_WINDOW",
     "StreamStats",
     "StreamedGridRun",
+    "SpilledValues",
     "stream_outcomes",
     "run_grid_streaming",
+    "write_artifact_streaming",
 ]
 
 #: default cap on resident (un-spilled) outcomes during a streaming run
@@ -144,7 +146,7 @@ def stream_outcomes(
             pool.shutdown()
 
 
-class _SpilledValues(Sequence):
+class SpilledValues(Sequence):
     """Lazy, disk-backed view of the spilled cell values, in cell order.
 
     Quacks like the ``values`` list ``tabulate`` receives from the classic
@@ -172,7 +174,7 @@ class _SpilledValues(Sequence):
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return _SpilledValues(
+            return SpilledValues(
                 self._path, self._offsets[index]
             )  # lazy sub-view: no values materialise
         offsets = self._offsets
@@ -216,7 +218,7 @@ def run_grid_streaming(
     spill = out / (artifact_name(spec.exp_id) + ".cells.spill")
     stats = StreamStats()
     offsets: list[int] = []
-    values = _SpilledValues(spill, offsets)
+    values = SpilledValues(spill, offsets)
     try:
         with spill.open("w", encoding="utf-8") as fh:
             for outcome in stream_outcomes(
@@ -231,14 +233,14 @@ def run_grid_streaming(
                 fh.write(json.dumps(record, sort_keys=True) + "\n")
         tables = spec.tabulate(params, values)
         tables = tables if isinstance(tables, list) else [tables]
-        _write_artifact_streaming(path, spec, params, spill, tables)
+        write_artifact_streaming(path, spec, params, spill, tables)
     finally:
         values.close()
         spill.unlink(missing_ok=True)
     return StreamedGridRun(path=path, stats=stats, tables=tables)
 
 
-def _write_artifact_streaming(
+def write_artifact_streaming(
     path: Path,
     spec: ScenarioSpec,
     params: Any,
@@ -246,6 +248,11 @@ def _write_artifact_streaming(
     tables: list[Any],
 ) -> None:
     """Render the canonical artifact without materialising the cell list.
+
+    Shared with the distributed assembler (:mod:`repro.harness.grid`),
+    which tabulates from the shared cache once a run's ledger shows every
+    cell done — same spill format (one ``{"coords","seed","value"}`` JSON
+    object per line), same byte-identical rendering.
 
     Byte-identity with ``json.dumps(payload, sort_keys=True, indent=2)``
     relies on ``"cells"`` sorting first among the payload keys: the cell
@@ -276,3 +283,8 @@ def _write_artifact_streaming(
         # so the body continues the object we already started.
         fh.write(rendered_rest[2:])
         fh.write("\n")
+
+
+#: backwards-compatible aliases (pre-distributed-runner private names)
+_SpilledValues = SpilledValues
+_write_artifact_streaming = write_artifact_streaming

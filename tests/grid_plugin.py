@@ -1,0 +1,71 @@
+"""Out-of-tree experiment plugin used by the distributed-grid tests.
+
+Imported two ways, mirroring real plugin deployments:
+
+* in-process, via the ``zz_experiment`` fixture (which also un-registers
+  the experiment afterwards so the registry stays at its built-in set
+  for every other test);
+* in worker subprocesses, via ``REPRO_PLUGINS=tests.grid_plugin`` — the
+  loader path a remote worker actually takes, exercised end-to-end by
+  the SIGKILL/resume test.
+
+The experiment itself is deliberately boring: ``cells`` independent
+cells whose value is a pure function of the seed, with an optional
+per-cell ``sleep`` so tests can hold a worker *inside* a cell long
+enough to SIGKILL it mid-lease.  The value never depends on the sleep,
+so interrupted and uninterrupted runs are byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.experiments.api import (
+    ExperimentSpec,
+    Metric,
+    TrialAxis,
+    register_experiment,
+)
+from repro.experiments.report import Table
+
+__all__ = ["ZzParams", "SPEC", "run_cell", "tabulate"]
+
+
+@dataclass(frozen=True)
+class ZzParams:
+    cells: int = 6
+    #: seconds each cell blocks before returning (timing only, never value)
+    sleep: float = 0.0
+    seed: int = 1
+
+    @classmethod
+    def full(cls) -> "ZzParams":
+        return cls(cells=12)
+
+
+def run_cell(params: ZzParams, coords: dict, seed: int) -> dict:
+    if params.sleep:
+        time.sleep(params.sleep)
+    return {"value": (seed ^ coords["cell"]) % 997}
+
+
+def tabulate(params: ZzParams, values) -> Table:
+    table = Table(title=f"ZZ: plugin smoke ({params.cells} cells)",
+                  headers=["cell", "value"])
+    for index, value in enumerate(values):
+        table.add_row(index, value["value"])
+    return table
+
+
+SPEC = register_experiment(
+    ExperimentSpec(
+        exp_id="zz",
+        title="plugin demo: sleepy deterministic cells",
+        params_cls=ZzParams,
+        axes=(TrialAxis(name="cell", field="cells"),),
+        metrics=(Metric("value", "seed-derived token (sleep-independent)"),),
+        run_cell=run_cell,
+        tabulate=tabulate,
+    )
+)

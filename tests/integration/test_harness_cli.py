@@ -59,6 +59,20 @@ class TestCliDryRun:
         assert "t1: 1 cells (nothing executed)" in printed
         assert '"detector": "phi"' in printed
 
+    def test_dry_run_previews_a_static_shard(self, tmp_path, capsys):
+        assert main(["run", "t2", "--worker-id", "2/3", "--dry-run",
+                     "--out", str(tmp_path)]) == 0
+        printed = capsys.readouterr().out
+        # t2's smoke-free default grid has 4 cells: shard 2/3 owns index 1.
+        assert "t2: 4 cells; shard 2/3 claims 1 (split 1/3:2, 2/3:1, 3/3:1)" in printed
+        cells = [line for line in printed.splitlines() if line.startswith("  [")]
+        assert len(cells) == 1 and cells[0].startswith("  [  1]")
+
+    def test_dry_run_rejects_malformed_worker_id(self, tmp_path, capsys):
+        assert main(["run", "t2", "--worker-id", "4/2", "--dry-run",
+                     "--out", str(tmp_path)]) == 2
+        assert "out of range" in capsys.readouterr().err
+
 
 class TestCliRun:
     def test_unknown_experiment_fails(self, tmp_path, capsys):
