@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Run one large_n experiment cell under a hard address-space ceiling.
+
+CI's large-n smoke: proves the columnar trace plane keeps an n=2000
+cell inside a bounded memory envelope.  The ceiling is enforced with
+``RLIMIT_AS`` *before* the cell runs, so a memory regression fails
+with ``MemoryError`` instead of quietly leaning on a big runner — the
+object-backend recorder's per-change suspect snapshots alone would
+blow through it.  Peak RSS is reported either way.
+
+Usage: python scripts/large_n_smoke.py [--exp e1] [--cell 0] [--limit-gb 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import time
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--exp", default="e1", help="experiment id (default: e1)")
+    parser.add_argument(
+        "--cell", type=int, default=0, help="grid index of the large_n cell to run"
+    )
+    parser.add_argument(
+        "--limit-gb",
+        type=float,
+        default=2.0,
+        help="hard RLIMIT_AS address-space ceiling in GiB (default: 2.0)",
+    )
+    args = parser.parse_args()
+
+    limit = int(args.limit_gb * 1024**3)
+    resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+
+    from repro.harness import get_spec, run_cells
+
+    spec = get_spec(args.exp)
+    params = spec.make_params(preset="large_n")
+    grid = spec.grid(params)
+    coords = grid[args.cell]
+    print(f"[large-n] {args.exp} preset large_n: cell {args.cell}/{len(grid)} "
+          f"{coords} under a {args.limit_gb:g} GiB address-space ceiling")
+    started = time.perf_counter()
+    (value,) = run_cells(spec, params, [coords])
+    elapsed = time.perf_counter() - started
+    peak_mib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    print(f"[large-n] ok in {elapsed:.1f}s, peak RSS {peak_mib:.0f} MiB, "
+          f"value keys {sorted(value)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

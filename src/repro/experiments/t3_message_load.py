@@ -33,6 +33,21 @@ class T3Params:
     def full(cls) -> "T3Params":
         return cls(sizes=(10, 30, 60), horizon=60.0)
 
+    @classmethod
+    def large_n(cls) -> "T3Params":
+        """Full-mesh load curves an order of magnitude past the paper.
+
+        Every cell is Θ(n²) deliveries per round, so the horizon is short
+        and phi (whose per-sample window bookkeeping dominates at this
+        scale without changing the load curve's shape) is dropped.  Only
+        feasible on the columnar trace plane.
+        """
+        return cls(
+            sizes=(500, 1000, 2000),
+            detectors=("time-free", "heartbeat", "gossip"),
+            horizon=5.0,
+        )
+
 
 def run_cell(params: T3Params, coords: dict, seed: int) -> dict:
     n = coords["n"]

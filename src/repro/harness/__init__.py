@@ -27,7 +27,7 @@ from .grid import (
     run_grid_worker,
 )
 from .lease import FileLedger, LeaseLedger, LedgerCounts, SqliteLedger, open_ledger
-from .plugins import load_plugins, plugin_modules
+from .plugins import entry_point_modules, load_plugins, plugin_modules, plugin_sources
 from .registry import all_specs, get_spec
 from .runner import CellOutcome, GridResult, evaluate_cell, run_cells, run_grid
 from .spec import ScenarioSpec, cell_seed, with_detectors, with_overrides
@@ -60,6 +60,7 @@ __all__ = [
     "cache_key",
     "cell_seed",
     "ensure_manifest",
+    "entry_point_modules",
     "evaluate_cell",
     "get_spec",
     "grid_reap",
@@ -67,6 +68,7 @@ __all__ = [
     "load_plugins",
     "open_ledger",
     "plugin_modules",
+    "plugin_sources",
     "run_cells",
     "run_grid",
     "run_grid_streaming",

@@ -84,6 +84,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=1, help="process-pool size")
     run.add_argument("--out", default="results", help="artifact directory")
     run.add_argument("--full", action="store_true", help="paper-scale parameters")
+    run.add_argument(
+        "--preset",
+        default=None,
+        help=(
+            "named parameter preset (a no-arg classmethod on the experiment's "
+            "params class, e.g. 'full' or 'large_n')"
+        ),
+    )
     run.add_argument("--seed", type=int, default=None, help="override the base seed")
     run.add_argument(
         "--detector",
@@ -178,6 +186,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--only", default="", help="comma-separated workload names (default: all)"
     )
     bench.add_argument("--out", default="results", help="artifact directory")
+    bench.add_argument(
+        "--mem",
+        action="store_true",
+        help="also measure each workload's peak memory (tracemalloc second "
+        "pass; the trace workload additionally reports its object-backend "
+        "baseline and ratio)",
+    )
     bench.add_argument("--quiet", action="store_true", help="no table, just a summary line")
     bench.add_argument(
         "--check",
@@ -327,7 +342,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for exp_id in wanted:
         spec = specs[exp_id]
         overrides = {} if args.seed is None else {"seed": args.seed}
-        params = spec.make_params(full=args.full, **overrides)
+        params = spec.make_params(full=args.full, preset=args.preset, **overrides)
         try:
             if args.param:
                 params = with_overrides(params, _parse_param_overrides(args.param))
@@ -491,7 +506,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             floors = load_floors(args.floors or DEFAULT_FLOORS_PATH)
             if only:
                 floors = {name: floors[name] for name in only if name in floors}
-        payload = run_microbench(events=args.events, only=only)
+        payload = run_microbench(events=args.events, only=only, mem=args.mem)
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
         return 2

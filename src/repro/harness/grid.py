@@ -57,7 +57,7 @@ from ..errors import ConfigurationError
 from .artifacts import artifact_name
 from .cache import CACHE_SCHEMA, ResultCache, cache_key
 from .lease import DEFAULT_TTL, LeaseLedger, LedgerCounts, open_ledger
-from .plugins import load_plugins
+from .plugins import load_plugins, plugin_sources
 from .runner import evaluate_cell
 from .spec import ScenarioSpec, canonical_json, cell_seed, params_to_dict
 from .streaming import SpilledValues, write_artifact_streaming
@@ -123,12 +123,15 @@ def grid_manifest(spec: ScenarioSpec, params: Any) -> dict[str, Any]:
             {"experiment": spec.exp_id, "cells": records}
         ).encode("utf-8")
     ).hexdigest()
+    # Import before recording: a manifest must not advertise a plugin set
+    # this worker could not actually load.
+    load_plugins()
     manifest = {
         "schema": GRID_SCHEMA,
         "experiment": spec.exp_id,
         "params": params_to_dict(params),
         "cache_schema": CACHE_SCHEMA,
-        "plugins": list(load_plugins()),
+        "plugins": plugin_sources(),
         "grid_digest": digest,
         "cells": records,
     }
@@ -162,7 +165,7 @@ def _check_compatible(existing: dict[str, Any], fresh: dict[str, Any]) -> None:
         ("experiment", "experiment"),
         ("cache_schema", "cache schema"),
         ("params", "params"),
-        ("plugins", "plugin list (REPRO_PLUGINS)"),
+        ("plugins", "plugin set (REPRO_PLUGINS + repro.plugins entry points)"),
         ("grid_digest", "grid digest (cell enumeration)"),
     ):
         if existing.get(field) != fresh.get(field):
@@ -507,9 +510,24 @@ def grid_status(
             experiment=manifest["experiment"],
             counts=ledger.counts(now=now),
             owners=ledger.owners(now=now),
-            plugins=tuple(manifest.get("plugins", ())),
+            plugins=_manifest_plugin_names(manifest),
             backend=ledger.backend,
         )
+
+
+def _manifest_plugin_names(manifest: dict[str, Any]) -> tuple[str, ...]:
+    """Flatten the manifest's plugin record for display.
+
+    Current manifests record per-source dicts
+    (``{"env": [...], "entry_points": [...]}``); pre-entry-point manifests
+    recorded a flat list.
+    """
+    raw = manifest.get("plugins", ())
+    if isinstance(raw, dict):
+        names = [*raw.get("env", ()), *raw.get("entry_points", ())]
+    else:
+        names = list(raw)
+    return tuple(sorted(set(names)))
 
 
 def grid_reap(workers_dir: str | os.PathLike, backend: str = "auto") -> int:

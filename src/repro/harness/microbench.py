@@ -25,6 +25,11 @@ Workloads:
 * ``trace-query`` — metrics read path: per-(observer, target) timeline
   queries over a synthetic suspicion trace, the access pattern of
   ``repro.metrics`` tabulation (events = queries executed).
+* ``trace``   — trace plane end-to-end: record a drifting suspicion trace
+  into the columnar store, then tabulate it with the pruned per-pair query
+  mix (events = changes recorded + queries executed).  Its committed floor
+  is pinned above the object backend's speed on the same workload, so a
+  silent fallback to the object recorder trips the gate.
 * ``cells``   — one end-to-end experiment cell: a time-free cluster with
   a crash, run to horizon, then the full QoS tabulation (detection,
   mistakes, message load) — the workload grid runs scale by.
@@ -36,6 +41,13 @@ Workloads:
 ``repro bench --check`` compares a fresh run against the committed
 per-workload kev/s floors (``benchmarks/bench_floors.json``) and fails
 when any workload regresses below its floor — the CI regression gate.
+
+``repro bench --mem`` re-runs each workload under :mod:`tracemalloc` and
+records its peak traced allocation (``peak_kb``).  Workloads carrying a
+``mem_baseline`` attribute (currently ``trace``, whose baseline is the
+object-backend recorder) also record ``baseline_peak_kb`` and the
+``mem_ratio`` between the two — the committed evidence for the columnar
+store's memory claim.
 """
 
 from __future__ import annotations
@@ -240,6 +252,88 @@ def bench_trace_query(n: int) -> float:
     return elapsed
 
 
+def bench_trace(n: int, backend: str = "columnar") -> float:
+    """Trace plane tabulation at large-n shape: the QoS metrics read path.
+
+    Records (untimed) an interleaved trace — 96 observers whose drifting
+    suspect sets stay inside a 16-process neighborhood, the large-n
+    partial-topology regime the columnar store exists for — then times the
+    tabulation passes the QoS metrics stack runs: a detection-style pass
+    (``first_suspicion_time`` / ``permanent_suspicion_time`` per
+    (observer, victim), *unpruned* — most observers never suspected a given
+    victim, the case the per-pair transition index turns into an O(1) miss
+    where the object backend scans the observer's whole timeline), a
+    mistake/accuracy-style pass (``suspicion_intervals`` twice plus
+    ``permanent_suspicion_time`` for the ``targets_of``-pruned pairs with
+    history), and time-increasing ``suspects_at`` /
+    ``false_suspicion_count_at`` sweeps.  Events are queries executed.  The
+    committed floor sits above the object backend's speed on this exact
+    workload (pass ``backend="object"`` to measure it), so a silent
+    fallback to the object recorder trips the ``bench-gate`` CI job; the
+    ``--mem`` pass covers the recording too, so the cell's ``mem_ratio``
+    against the object baseline is the columnar store's memory claim.
+    """
+    import random as _random
+
+    from ..sim.trace import TraceRecorder
+
+    observers = 96
+    per_observer = max(100, n // 2000)
+    rng = _random.Random(17)
+    ids = [f"n{i}" for i in range(observers)]
+    trace = TraceRecorder(backend=backend)
+    ops = 0
+
+    neighborhood = 16
+    pools = {
+        pid: [ids[(i + k) % observers] for k in range(1, neighborhood + 1)]
+        for i, pid in enumerate(ids)
+    }
+    current: dict[str, frozenset[str]] = {pid: frozenset() for pid in ids}
+    now = 0.0
+    for _ in range(per_observer):
+        for observer in ids:
+            now += rng.random() * 0.01
+            cur = current[observer]
+            nxt = set(cur)
+            if nxt and (rng.random() >= 0.65 or len(nxt) >= neighborhood - 4):
+                nxt.discard(min(nxt))
+            else:
+                nxt.add(rng.choice(pools[observer]))
+            after = frozenset(nxt)
+            trace.record_suspicion_change(now, observer, cur, after)
+            current[observer] = after
+    horizon = now + 1.0
+
+    def tabulate() -> None:
+        nonlocal ops
+        for observer in ids:
+            for victim in ids:
+                if victim == observer:
+                    continue
+                trace.first_suspicion_time(observer, victim)
+                trace.permanent_suspicion_time(observer, victim)
+                ops += 2
+            for target in trace.targets_of(observer):
+                trace.suspicion_intervals(observer, target, horizon=horizon)
+                trace.suspicion_intervals(observer, target, horizon=horizon)
+                trace.permanent_suspicion_time(observer, target)
+                ops += 3
+            for i in range(5):
+                trace.suspects_at(observer, horizon * i / 5.0)
+                ops += 1
+        for i in range(25):
+            trace.false_suspicion_count_at(horizon * i / 25.0, frozenset())
+            ops += 1
+
+    elapsed = _timed(tabulate)
+    bench_trace.events = ops  # type: ignore[attr-defined]
+    return elapsed
+
+
+bench_trace.mem_baseline = lambda n: bench_trace(n, backend="object")  # type: ignore[attr-defined]
+
+
 def bench_cells(n: int) -> float:
     """One end-to-end experiment cell: run a cluster, then tabulate QoS."""
     from ..metrics import all_detection_stats, message_load, mistake_stats
@@ -321,15 +415,36 @@ WORKLOADS: dict[str, Callable[[int], float]] = {
     "cluster": bench_cluster,
     "broadcast": bench_broadcast,
     "trace-query": bench_trace_query,
+    "trace": bench_trace,
     "cells": bench_cells,
     "merge": bench_merge,
 }
 
 
+def _peak_kb(fn: Callable[[int], float], events: int) -> float:
+    """Peak traced allocation of one workload run, in KiB."""
+    import tracemalloc
+
+    gc.collect()
+    tracemalloc.start()
+    try:
+        fn(events)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1024
+
+
 def run_microbench(
-    events: int = 200_000, only: Iterable[str] = ()
+    events: int = 200_000, only: Iterable[str] = (), mem: bool = False
 ) -> dict[str, Any]:
-    """Run the workloads; returns the ``BENCH_MICRO.json`` payload."""
+    """Run the workloads; returns the ``BENCH_MICRO.json`` payload.
+
+    With ``mem=True`` each workload runs a second time under
+    :mod:`tracemalloc` (timings come from the first, uninstrumented run) and
+    its cell gains ``peak_kb``; workloads with a ``mem_baseline`` attribute
+    additionally gain ``baseline_peak_kb`` and ``mem_ratio``.
+    """
     wanted = list(only) or list(WORKLOADS)
     unknown = sorted(set(wanted) - set(WORKLOADS))
     if unknown:
@@ -353,21 +468,25 @@ def run_microbench(
             if gc_was_enabled:
                 gc.enable()
         processed = getattr(fn, "events", events)
-        cells.append(
-            {
-                "coords": {"workload": name},
-                "value": {
-                    "events": processed,
-                    "seconds": round(elapsed, 6),
-                    "kev_per_s": round(processed / elapsed / 1000, 1),
-                },
-            }
-        )
+        value: dict[str, Any] = {
+            "events": processed,
+            "seconds": round(elapsed, 6),
+            "kev_per_s": round(processed / elapsed / 1000, 1),
+        }
+        if mem:
+            value["peak_kb"] = round(_peak_kb(fn, events), 1)
+            baseline = getattr(fn, "mem_baseline", None)
+            if baseline is not None:
+                value["baseline_peak_kb"] = round(_peak_kb(baseline, events), 1)
+                value["mem_ratio"] = round(
+                    value["baseline_peak_kb"] / value["peak_kb"], 1
+                )
+        cells.append({"coords": {"workload": name}, "value": value})
     payload = {
         "schema": MICROBENCH_SCHEMA,
         "experiment": MICROBENCH_ID,
         "title": "sim.engine scheduler hot-path microbenchmarks",
-        "params": {"events": events, "workloads": wanted},
+        "params": {"events": events, "workloads": wanted, "mem": mem},
         "cells": cells,
     }
     table = microbench_table(payload)
@@ -384,19 +503,28 @@ def run_microbench(
 
 def microbench_table(payload: dict[str, Any]) -> Table:
     """Render a microbench payload as a report table."""
-    table = Table(
-        title=payload["title"],
-        headers=["workload", "events", "seconds", "kev/s"],
-        precision=3,
-    )
+    with_mem = any("peak_kb" in cell["value"] for cell in payload["cells"])
+    headers = ["workload", "events", "seconds", "kev/s"]
+    if with_mem:
+        headers.append("peak KiB")
+    table = Table(title=payload["title"], headers=headers, precision=3)
     for cell in payload["cells"]:
         value = cell["value"]
-        table.add_row(
+        row = [
             cell["coords"]["workload"],
             value["events"],
             value["seconds"],
             value["kev_per_s"],
-        )
+        ]
+        if with_mem:
+            row.append(value.get("peak_kb", "-"))
+        table.add_row(*row)
+        if "mem_ratio" in value:
+            table.add_note(
+                f"{cell['coords']['workload']}: peak {value['peak_kb']} KiB vs "
+                f"{value['baseline_peak_kb']} KiB for the object-backend "
+                f"baseline — {value['mem_ratio']}x smaller"
+            )
     table.add_note("timings are machine-dependent; artifact is for tracking, not identity")
     return table
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import inspect
 import json
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
@@ -178,12 +179,57 @@ class ScenarioSpec:
                 "cells (or declarative axes), a cell runner and a tabulation layout"
             )
 
-    def make_params(self, *, full: bool = False, **overrides: Any) -> Any:
-        """Quick or paper-scale (``full=True``) parameters, with overrides."""
-        params = self.params_cls.full() if full else self.params_cls()
+    def make_params(
+        self,
+        *,
+        full: bool = False,
+        preset: str | None = None,
+        **overrides: Any,
+    ) -> Any:
+        """Quick, paper-scale (``full=True``) or named-preset parameters.
+
+        A preset is a no-argument classmethod on ``params_cls`` returning a
+        params instance (``full`` is one; experiments may add others such
+        as ``large_n``).  Overrides are applied on top either way.
+        """
+        if preset is not None:
+            if full:
+                raise ConfigurationError(
+                    f"experiment {self.exp_id!r}: pass either full or preset, not both"
+                )
+            params = self._resolve_preset(preset)
+        else:
+            params = self.params_cls.full() if full else self.params_cls()
         if overrides:
             params = dataclasses.replace(params, **overrides)
         return params
+
+    def _resolve_preset(self, preset: str) -> Any:
+        factory = getattr(self.params_cls, preset, None)
+        if preset.startswith("_") or not callable(factory):
+            available = ", ".join(sorted(self.presets())) or "none"
+            raise ConfigurationError(
+                f"experiment {self.exp_id!r} has no preset {preset!r} "
+                f"(available: {available})"
+            )
+        params = factory()
+        if not isinstance(params, self.params_cls):
+            raise ConfigurationError(
+                f"experiment {self.exp_id!r}: preset {preset!r} returned "
+                f"{type(params).__name__}, not {self.params_cls.__name__}"
+            )
+        return params
+
+    def presets(self) -> tuple[str, ...]:
+        """Names of the no-argument params factories this experiment offers."""
+        names = []
+        for name in dir(self.params_cls):
+            if name.startswith("_"):
+                continue
+            member = inspect.getattr_static(self.params_cls, name)
+            if isinstance(member, classmethod):
+                names.append(name)
+        return tuple(sorted(names))
 
     def grid(self, params: Any) -> list[dict[str, Any]]:
         """The grid as fresh, mutable cell dicts (what the runners schedule)."""

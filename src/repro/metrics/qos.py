@@ -130,7 +130,11 @@ def mistake_stats(
     total = 0.0
     unresolved = 0
     for observer in correct_set:
-        for target in correct_set:
+        # Pairs with no suspicion history contribute nothing; skipping them
+        # via the observer's ever-suspected set turns the quadratic pair
+        # sweep into one bounded by actual suspicions (large-n grids).
+        suspected_ever = trace.targets_of(observer)
+        for target in suspected_ever & correct_set:
             if observer == target:
                 continue
             intervals = trace.suspicion_intervals(observer, target, horizon=horizon)
@@ -225,12 +229,18 @@ def accuracy_stabilization(
     ◇S proof promises.
     """
     correct_set = frozenset(correct)
+    # As in mistake_stats: only (observer, target) pairs with suspicion
+    # history can move the answer, so prune by each observer's
+    # ever-suspected set instead of scanning every timeline per pair.
+    suspected_by = {
+        observer: trace.targets_of(observer) for observer in correct_set
+    }
     result: dict[ProcessId, float | None] = {}
     for target in correct_set:
         latest = 0.0
         still_suspected = False
         for observer in correct_set:
-            if observer == target:
+            if observer == target or target not in suspected_by[observer]:
                 continue
             intervals = trace.suspicion_intervals(observer, target, horizon=horizon)
             if not intervals:

@@ -21,6 +21,7 @@ mesh with ``d = n``.
 from .covering import (
     independent_path_count,
     validate_f_covering,
+    validate_f_covering_fast,
     validate_mobility_scenario,
 )
 from .protocol import (
@@ -35,5 +36,6 @@ __all__ = [
     "independent_path_count",
     "partial_driver_factory",
     "validate_f_covering",
+    "validate_f_covering_fast",
     "validate_mobility_scenario",
 ]

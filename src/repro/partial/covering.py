@@ -17,6 +17,7 @@ from ..sim.topology import Topology
 __all__ = [
     "independent_path_count",
     "validate_f_covering",
+    "validate_f_covering_fast",
     "validate_mobility_scenario",
 ]
 
@@ -46,6 +47,48 @@ def validate_f_covering(topology: Topology, f: int) -> None:
     if connectivity < f + 1:
         raise TopologyError(
             f"network is not {f}-covering: node connectivity {connectivity} < {f + 1}"
+        )
+    density = topology.range_density()
+    if density <= f + 1:
+        raise TopologyError(
+            f"f-covering network must have range density d > f + 1; "
+            f"got d={density}, f={f}"
+        )
+
+
+def validate_f_covering_fast(topology: Topology, f: int) -> None:
+    """Necessary-condition screen for f-covering, without Menger.
+
+    Checks connectivity (one BFS), minimum degree >= f + 1 and the report's
+    density requirement d > f + 1 — all O(nodes + edges).  These are
+    *necessary* for (f + 1)-connectivity but not sufficient; the large-n
+    experiment presets use this screen because the exact certification in
+    :func:`validate_f_covering` runs one max-flow per node pair and is
+    infeasible past a few hundred nodes.
+    """
+    ids = topology.ids()
+    if not ids:
+        raise TopologyError("empty topology cannot be f-covering")
+    start = next(iter(ids))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        next_frontier: list[ProcessId] = []
+        for pid in frontier:
+            for neighbor in topology.neighbors(pid):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    if len(seen) != len(ids):
+        raise TopologyError(
+            f"network is not {f}-covering: it is disconnected "
+            f"({len(seen)}/{len(ids)} nodes reachable)"
+        )
+    min_degree = min(len(topology.neighbors(pid)) for pid in ids)
+    if min_degree < f + 1:
+        raise TopologyError(
+            f"network cannot be {f}-covering: minimum degree {min_degree} < {f + 1}"
         )
     density = topology.range_density()
     if density <= f + 1:

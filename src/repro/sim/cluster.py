@@ -53,6 +53,7 @@ class SimCluster:
         loss_rate: float = 0.0,
         start_stagger: float = 0.0,
         latency_backend: str = "python",
+        trace_backend: str = "columnar",
     ) -> None:
         if (topology is None) == (n is None):
             raise ConfigurationError("provide exactly one of `topology` or `n`")
@@ -62,7 +63,7 @@ class SimCluster:
         self.membership = frozenset(topology.ids())
         self.scheduler = Scheduler()
         self.rng = RngStreams(seed)
-        self.trace = TraceRecorder()
+        self.trace = TraceRecorder(backend=trace_backend)
         self.latency = latency if latency is not None else ConstantLatency(0.001)
         if latency_backend == "numpy":
             # Opt-in numpy-vectorized broadcast delay sampling.  The random

@@ -14,6 +14,7 @@ over.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from ..core.properties import MPWitness
@@ -63,10 +64,16 @@ class MessagePatternMonitor:
         self.f = f
         self.min_streak = min_streak
         self.strict = strict
-        #: responder -> querier -> current consecutive-win streak
-        self._streaks: dict[ProcessId, dict[ProcessId, int]] = {
-            pid: {} for pid in self.membership
+        #: streaks live in one int array row per responder, indexed by a
+        #: dense querier id — a few bytes per (responder, querier) pair
+        #: instead of an O(n^2) forest of dict entries
+        self._members: list[ProcessId] = sorted(self.membership, key=repr)
+        self._member_ix: dict[ProcessId, int] = {
+            pid: ix for ix, pid in enumerate(self._members)
         }
+        self._querier_ix: dict[ProcessId, int] = {}
+        self._querier_order: list[ProcessId] = []
+        self._streaks: list[array] = [array("i") for _ in self._members]
         self.rounds_observed = 0
         #: first virtual time at which MP was certified (None = not yet)
         self.mp_since: float | None = None
@@ -86,18 +93,30 @@ class MessagePatternMonitor:
         """Round listener: update streaks with one completed round."""
         self.rounds_observed += 1
         winning = outcome.winners if self.strict else frozenset(outcome.responders)
-        for responder in self.membership:
-            streaks = self._streaks[responder]
+        qi = self._querier_ix.get(querier)
+        if qi is None:
+            qi = self._querier_ix[querier] = len(self._querier_order)
+            self._querier_order.append(querier)
+            for row in self._streaks:
+                row.append(0)
+        for ix, responder in enumerate(self._members):
+            row = self._streaks[ix]
             if responder in winning:
-                streaks[querier] = streaks.get(querier, 0) + 1
+                row[qi] += 1
             else:
-                streaks[querier] = 0
+                row[qi] = 0
         if self.mp_since is None and self.current_witness() is not None:
             self.mp_since = self._clock.now if self._clock is not None else None
 
     # ------------------------------------------------------------------
     def snapshot(self, responder: ProcessId) -> StreakSnapshot:
-        return StreakSnapshot(responder=responder, streaks=dict(self._streaks[responder]))
+        row = self._streaks[self._member_ix[responder]]
+        return StreakSnapshot(
+            responder=responder,
+            streaks={
+                querier: row[qi] for qi, querier in enumerate(self._querier_order)
+            },
+        )
 
     def current_witness(
         self, *, crashed: frozenset[ProcessId] = frozenset()
@@ -108,11 +127,21 @@ class MessagePatternMonitor:
         ``min_streak``-long winning streak with at least ``f + 1``
         queriers.
         """
-        for responder in sorted(self.membership - crashed, key=repr):
-            queriers = self.snapshot(responder).queriers_with_streak(self.min_streak)
+        minimum = self.min_streak
+        queriers_of = self._querier_order
+        candidates = (
+            self._members
+            if not crashed
+            else sorted(self.membership - crashed, key=repr)
+        )
+        for responder in candidates:
+            row = self._streaks[self._member_ix[responder]]
+            queriers = frozenset(
+                queriers_of[qi] for qi, streak in enumerate(row) if streak >= minimum
+            )
             if len(queriers) >= self.f + 1:
                 return MPWitness(
-                    responder=responder, queriers=queriers, suffix=self.min_streak
+                    responder=responder, queriers=queriers, suffix=minimum
                 )
         return None
 

@@ -157,10 +157,10 @@ class SimNetwork:
             loss = self._loss_rng.random
             kept: list[ProcessId] = []
             for dst in dsts:
-                if loss() < rate:
-                    self.trace.record_drop()
-                else:
+                if loss() >= rate:
                     kept.append(dst)
+            if len(kept) != len(dsts):
+                self.trace.record_drops(len(dsts) - len(kept))
             dsts = kept
         if not dsts:
             return 0

@@ -20,19 +20,14 @@ from pathlib import Path
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 
-#: the experiments pinned by committed goldens (the legacy 11; new
-#: experiments such as q1 are covered by the conformance suite instead)
+#: every registered experiment is pinned by a committed golden
 GOLDEN_EXPERIMENTS = (
-    "t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2",
+    "t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2", "q1",
 )
 
 
 def smoke_params():
-    """exp_id -> smoke-sized params instance, for every registered experiment.
-
-    Covers the golden 11 plus experiments that are conformance-tested but
-    not golden-pinned (q1).
-    """
+    """exp_id -> smoke-sized params instance, for every registered experiment."""
     from repro.experiments import (
         a1_grace_ablation,
         a2_loss_resilience,

@@ -52,7 +52,7 @@ class TestManifest:
         spec, params = t2
         manifest = grid_manifest(spec, params)
         assert manifest["experiment"] == "t2"
-        assert manifest["plugins"] == []
+        assert manifest["plugins"] == {"env": [], "entry_points": []}
         cells = manifest["cells"]
         assert len(cells) == len(spec.grid(params))
         assert all({"coords", "seed", "key"} <= record.keys() for record in cells)
@@ -88,7 +88,7 @@ class TestManifest:
         # is already imported, so "loading" it registers nothing — the
         # refusal is purely about the recorded list differing.
         monkeypatch.setenv("REPRO_PLUGINS", "json")
-        with pytest.raises(ConfigurationError, match="plugin list"):
+        with pytest.raises(ConfigurationError, match="plugin set"):
             ensure_manifest(tmp_path, spec, params)
 
     def test_missing_manifest_is_a_clear_error(self, tmp_path):
@@ -124,3 +124,60 @@ class TestPluginLoader:
     def test_unimportable_module_fails_loudly(self):
         with pytest.raises(ConfigurationError, match="no_such_plugin_xyz"):
             load_plugins("no_such_plugin_xyz")
+
+
+class TestEntryPoints:
+    @pytest.fixture
+    def fake_scan(self, monkeypatch):
+        """Inject entry points without installing a distribution."""
+        from repro.harness import plugins
+
+        # monkeypatch restores the pre-test cache on teardown, so the fake
+        # scan results cannot leak into other tests.
+        monkeypatch.setattr(plugins, "_entry_point_cache", None)
+
+        def install(*pairs):
+            monkeypatch.setattr(plugins, "_scan_entry_points", lambda: pairs)
+            # Anything touching the registry (e.g. the t2 fixture) may have
+            # re-primed the cache with the real scan by now.
+            monkeypatch.setattr(plugins, "_entry_point_cache", None)
+
+        return install
+
+    def test_discovers_sorts_and_caches(self, fake_scan, monkeypatch):
+        from repro.harness import plugins
+
+        calls = []
+
+        def scan():
+            calls.append(1)
+            return (("b", "math"), ("a", "json"))
+
+        monkeypatch.setattr(plugins, "_scan_entry_points", scan)
+        assert plugins.entry_point_modules() == ("json", "math")
+        assert plugins.entry_point_modules() == ("json", "math")
+        assert len(calls) == 1, "scan result must be cached"
+        assert plugins.entry_point_modules(refresh=True) == ("json", "math")
+        assert len(calls) == 2
+
+    def test_load_plugins_imports_entry_points(self, fake_scan):
+        fake_scan(("ep", "json"))
+        assert load_plugins("math") == ("json", "math")
+
+    def test_unimportable_entry_point_names_its_source(self, fake_scan):
+        fake_scan(("ep", "no_such_entry_point_mod"))
+        with pytest.raises(ConfigurationError, match="entry-point group"):
+            load_plugins()
+
+    def test_sources_shape_matches_manifest(self, fake_scan, monkeypatch):
+        from repro.harness.plugins import plugin_sources
+
+        fake_scan(("ep", "json"))
+        monkeypatch.setenv("REPRO_PLUGINS", "math")
+        assert plugin_sources() == {"env": ["math"], "entry_points": ["json"]}
+
+    def test_manifest_records_entry_points(self, fake_scan, t2):
+        spec, params = t2
+        fake_scan(("ep", "json"))
+        manifest = grid_manifest(spec, params)
+        assert manifest["plugins"] == {"env": [], "entry_points": ["json"]}

@@ -32,6 +32,18 @@ class ToyParams:
     def full(cls) -> "ToyParams":
         return cls(xs=(1, 2, 3, 4, 5))
 
+    @classmethod
+    def big(cls) -> "ToyParams":
+        return cls(xs=(7, 8), scale=100)
+
+    @classmethod
+    def _hidden(cls) -> "ToyParams":
+        return cls()
+
+    @classmethod
+    def broken(cls) -> int:
+        return 42
+
 
 def toy_cells(params):
     return [{"x": x} for x in params.xs]
@@ -112,6 +124,48 @@ class TestRunGrid:
         assert TOY.make_params().xs == (1, 2, 3)
         assert TOY.make_params(full=True).xs == (1, 2, 3, 4, 5)
         assert TOY.make_params(seed=9).seed == 9
+
+
+class TestPresets:
+    def test_named_preset_resolves(self):
+        assert TOY.make_params(preset="big").xs == (7, 8)
+        assert TOY.make_params(preset="full").xs == (1, 2, 3, 4, 5)
+
+    def test_overrides_apply_on_top_of_preset(self):
+        params = TOY.make_params(preset="big", seed=9)
+        assert params.xs == (7, 8)
+        assert params.seed == 9
+
+    def test_full_and_preset_are_exclusive(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            TOY.make_params(full=True, preset="big")
+
+    def test_unknown_preset_lists_available(self):
+        with pytest.raises(ConfigurationError, match="big"):
+            TOY.make_params(preset="huge")
+
+    def test_private_names_are_not_presets(self):
+        with pytest.raises(ConfigurationError, match="no preset"):
+            TOY.make_params(preset="_hidden")
+
+    def test_preset_returning_wrong_type_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="not ToyParams"):
+            TOY.make_params(preset="broken")
+
+    def test_presets_listing(self):
+        listed = TOY.presets()
+        assert "full" in listed and "big" in listed
+        assert "_hidden" not in listed
+
+    def test_large_n_presets_registered(self):
+        from repro.harness.registry import get_spec
+
+        e1 = get_spec("e1")
+        assert "large_n" in e1.presets()
+        assert e1.make_params(preset="large_n").n == 2000
+        t3 = get_spec("t3")
+        assert "large_n" in t3.presets()
+        assert max(t3.make_params(preset="large_n").sizes) == 2000
 
 
 class TestCache:

@@ -1,0 +1,67 @@
+"""Unit tests for the microbench harness (workload registry, --mem protocol).
+
+The floors themselves are exercised by the bench-gate in CI; here we pin
+the payload *shape* — especially the ``--mem`` cells the trace workload's
+memory claim in ``benchmarks/BENCH_MICRO.json`` is built from — with a
+deliberately tiny event count so the suite stays fast.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.microbench import (
+    WORKLOADS,
+    bench_trace,
+    microbench_table,
+    run_microbench,
+)
+
+EVENTS = 2_000  # bench_trace clamps per-observer records, so this is quick
+
+
+class TestRegistry:
+    def test_trace_workloads_registered(self):
+        assert "trace" in WORKLOADS
+        assert "trace-query" in WORKLOADS
+
+    def test_unknown_workload_is_a_clear_error(self):
+        with pytest.raises(ConfigurationError, match="no_such_workload"):
+            run_microbench(events=EVENTS, only=("no_such_workload",))
+
+    def test_trace_workload_has_a_mem_baseline(self):
+        # The --mem ratio is only honest if the baseline is the object
+        # backend driven through the *same* recording and query script.
+        assert callable(getattr(bench_trace, "mem_baseline", None))
+
+
+class TestMemProtocol:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_microbench(events=EVENTS, only=("trace",), mem=True)
+
+    def test_cell_shape(self, payload):
+        (cell,) = payload["cells"]
+        assert cell["coords"] == {"workload": "trace"}
+        value = cell["value"]
+        assert {"events", "seconds", "kev_per_s"} <= value.keys()
+        assert value["peak_kb"] > 0
+        assert value["baseline_peak_kb"] > 0
+        assert value["mem_ratio"] == round(
+            value["baseline_peak_kb"] / value["peak_kb"], 1
+        )
+
+    def test_params_record_the_mem_flag(self, payload):
+        assert payload["params"]["mem"] is True
+        assert payload["params"]["workloads"] == ["trace"]
+
+    def test_table_grows_a_peak_column_and_a_ratio_note(self, payload):
+        table = microbench_table(payload)
+        assert table.headers[-1] == "peak KiB"
+        assert any("object-backend baseline" in note for note in table.notes)
+
+    def test_without_mem_no_memory_keys(self):
+        payload = run_microbench(events=EVENTS, only=("trace",))
+        (cell,) = payload["cells"]
+        assert "peak_kb" not in cell["value"]
+        assert payload["params"]["mem"] is False
+        assert microbench_table(payload).headers[-1] == "kev/s"

@@ -5,6 +5,10 @@ query and every (time-ordered, as the scheduler guarantees) trace, the
 indexed implementation returns results identical to the pre-index
 full-trace scans.  The originals are kept here verbatim as private
 reference oracles and both are run over randomized traces.
+
+Every test runs under both the columnar store and the object-recorder
+oracle backend — the reference scans read the materialized
+``suspicion_changes`` view, which both backends must serve identically.
 """
 
 import random
@@ -12,6 +16,11 @@ import random
 import pytest
 
 from repro.sim.trace import TraceRecorder
+
+
+@pytest.fixture(params=["columnar", "object"])
+def backend(request):
+    return request.param
 
 # ---------------------------------------------------------------------------
 # reference oracles: the pre-index linear-scan implementations, verbatim
@@ -93,11 +102,11 @@ def _ref_rounds_of(trace, querier):
 # ---------------------------------------------------------------------------
 
 
-def random_trace(seed, *, observers=6, changes=120):
+def random_trace(seed, *, observers=6, changes=120, backend="columnar"):
     """A time-ordered random trace, as the simulator would record it."""
     rng = random.Random(seed)
     ids = list(range(1, observers + 1))
-    trace = TraceRecorder()
+    trace = TraceRecorder(backend=backend)
     current = {pid: frozenset() for pid in ids}
     now = 0.0
     for _ in range(changes):
@@ -113,8 +122,8 @@ QUERY_TIMES = [0.0, 0.5, 3.7, 1e9]
 
 
 @pytest.mark.parametrize("seed", range(12))
-def test_indexed_queries_match_linear_scan_oracles(seed):
-    trace, ids, end = random_trace(seed)
+def test_indexed_queries_match_linear_scan_oracles(seed, backend):
+    trace, ids, end = random_trace(seed, backend=backend)
     horizon = end + 1.0
     sample_times = QUERY_TIMES + [end * f for f in (0.25, 0.5, 0.75, 1.0)]
     for observer in ids:
@@ -146,11 +155,11 @@ def test_indexed_queries_match_linear_scan_oracles(seed):
 
 
 @pytest.mark.parametrize("seed", range(4))
-def test_index_stays_correct_across_interleaved_appends_and_reads(seed):
+def test_index_stays_correct_across_interleaved_appends_and_reads(seed, backend):
     """Reads may interleave with appends: the index must pick up new tail."""
     rng = random.Random(seed)
     ids = [1, 2, 3]
-    trace = TraceRecorder()
+    trace = TraceRecorder(backend=backend)
     current = {pid: frozenset() for pid in ids}
     now = 0.0
     for step in range(60):
@@ -172,9 +181,9 @@ def test_index_stays_correct_across_interleaved_appends_and_reads(seed):
             )
 
 
-def test_index_rebuilds_after_wholesale_list_replacement():
+def test_index_rebuilds_after_wholesale_list_replacement(backend):
     """Fixtures may replace ``suspicion_changes`` outright; detect shrinkage."""
-    trace, ids, end = random_trace(99, observers=3, changes=30)
+    trace, ids, end = random_trace(99, observers=3, changes=30, backend=backend)
     trace.changes_of(1)  # force the index
     kept = trace.suspicion_changes[:5]
     trace.suspicion_changes = kept
@@ -182,11 +191,11 @@ def test_index_rebuilds_after_wholesale_list_replacement():
     assert trace.suspects_at(1, end) == _ref_suspects_at(trace, 1, end)
 
 
-def test_index_rebuilds_after_same_length_list_replacement():
+def test_index_rebuilds_after_same_length_list_replacement(backend):
     """Replacement is detected by identity, not just by length changes."""
     import dataclasses
 
-    trace, ids, end = random_trace(17, observers=3, changes=30)
+    trace, ids, end = random_trace(17, observers=3, changes=30, backend=backend)
     trace.changes_of(1)  # force the index on the original list
     replacement = list(trace.suspicion_changes)
     replacement[0] = dataclasses.replace(
@@ -204,8 +213,8 @@ def test_index_rebuilds_after_same_length_list_replacement():
     )
 
 
-def test_index_rebuilds_after_in_place_truncation():
-    trace, ids, end = random_trace(23, observers=3, changes=30)
+def test_index_rebuilds_after_in_place_truncation(backend):
+    trace, ids, end = random_trace(23, observers=3, changes=30, backend=backend)
     trace.changes_of(1)  # force the index
     del trace.suspicion_changes[10:]
     for obs in ids:
@@ -215,11 +224,11 @@ def test_index_rebuilds_after_in_place_truncation():
         )
 
 
-def test_rounds_index_matches_linear_scan():
+def test_rounds_index_matches_linear_scan(backend):
     from repro.sim.trace import RoundRecord
 
     rng = random.Random(7)
-    trace = TraceRecorder()
+    trace = TraceRecorder(backend=backend)
     for i in range(40):
         querier = rng.choice([1, 2, 3])
         trace.record_round(
