@@ -28,7 +28,7 @@ from ..harness.runner import run_grid
 from ..metrics import detection_stats, mistake_stats
 from ..sim.faults import CrashFault, FaultPlan
 from ..sim.latency import LogNormalLatency
-from .api import ExperimentSpec, Metric, ParamAxis, register_experiment
+from .api import ExperimentSpec, Metric, Monotone, ParamAxis, register_experiment
 from .report import Table
 from .scenarios import run_scenario, setup_for
 
@@ -131,6 +131,10 @@ SPEC = register_experiment(
             Metric("detect_mean", "mean crash-detection latency (s)"),
             Metric("detect_max", "max crash-detection latency (s)"),
             Metric("rounds_per_process", "completed query rounds per process"),
+        ),
+        shapes=(
+            Monotone("false_suspicions", along="grace", direction="decreasing"),
+            Monotone("rounds_per_process", along="grace", direction="decreasing"),
         ),
         tabulate=tabulate,
     )

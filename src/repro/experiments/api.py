@@ -49,7 +49,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from statistics import mean as _mean
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, ClassVar, Iterable, Mapping, Sequence
 
 from ..errors import ConfigurationError
 from ..harness.spec import ScenarioSpec
@@ -59,10 +59,14 @@ __all__ = [
     "ParamAxis",
     "TrialAxis",
     "DetectorAxis",
+    "FaultAxis",
     "FixedAxis",
     "ConstAxis",
     "Section",
     "Metric",
+    "Monotone",
+    "Banded",
+    "check_shapes",
     "ExperimentSpec",
     "register_experiment",
     "get_experiment",
@@ -86,9 +90,17 @@ class Axis:
     ``name`` is the coordinate key in every cell dict (and therefore part
     of the per-cell seed derivation); :meth:`expand` yields the axis's
     values under a given params instance.
+
+    An ``optional`` axis (class-level flag) is **dropped from the grid
+    entirely** when it expands to no values — the cells then carry no
+    coordinate for it, so per-cell seeds and artifacts are byte-identical
+    to a grid that never declared the axis.  This is how opt-in axes
+    (:class:`FaultAxis`) join legacy experiments without perturbing their
+    pinned goldens.
     """
 
     name: str
+    optional: ClassVar[bool] = False
 
     def expand(self, params: Any) -> Sequence[Any]:
         raise NotImplementedError
@@ -139,6 +151,31 @@ class DetectorAxis(Axis):
 
 
 @dataclass(frozen=True)
+class FaultAxis(Axis):
+    """Fault-scenario names drawn from a params field (default ``faults``).
+
+    Values are names from the :mod:`repro.experiments.scenarios` fault
+    registry (``partition``, ``crashrec``, ``churn``, ``lossburst``...),
+    validated at expansion time.  The axis is *optional*: with the field
+    empty (every legacy params default) it vanishes from the grid, so
+    adding it to an experiment is byte-invisible until a preset or
+    override opts in.
+    """
+
+    name: str = "fault"
+    field: str = "faults"
+    optional: ClassVar[bool] = True
+
+    def expand(self, params: Any) -> Sequence[Any]:
+        from .scenarios import get_fault_scenario
+
+        names = tuple(getattr(params, self.field))
+        for name in names:
+            get_fault_scenario(name)  # raises ConfigurationError on unknown names
+        return names
+
+
+@dataclass(frozen=True)
 class FixedAxis(Axis):
     """Statically known values (scenario names, ablation variants...)."""
 
@@ -181,9 +218,16 @@ class Section:
             )
 
     def cells(self, params: Any) -> list[dict[str, Any]]:
-        values = [axis.expand(params) for axis in self.axes]
+        # Optional axes with no values under these params disappear from
+        # the product — no coordinate key, hence unchanged cell seeds.
+        axes = [
+            axis
+            for axis in self.axes
+            if not (axis.optional and not axis.expand(params))
+        ]
+        values = [axis.expand(params) for axis in axes]
         return [
-            {axis.name: value for axis, value in zip(self.axes, combo)}
+            {axis.name: value for axis, value in zip(axes, combo)}
             for combo in itertools.product(*values)
         ]
 
@@ -230,6 +274,114 @@ class Metric:
 
 
 # ---------------------------------------------------------------------------
+# expected shapes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Monotone:
+    """Declares that a metric moves monotonically along one axis.
+
+    For every fixed combination of the *other* coordinates (trials are
+    averaged out first), the metric's means must be non-increasing
+    (``direction="decreasing"``) or non-decreasing (``"increasing"``)
+    along the ``along`` axis, up to an absolute ``tolerance`` per step.
+    """
+
+    metric: str
+    along: str
+    direction: str = "increasing"
+    tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("increasing", "decreasing"):
+            raise ConfigurationError(
+                f"direction must be 'increasing' or 'decreasing', got {self.direction!r}"
+            )
+
+    def check(
+        self, cells: Sequence[Mapping[str, Any]], values: Sequence[Mapping[str, Any]]
+    ) -> list[str]:
+        groups: dict[tuple, dict[Any, list[float]]] = {}
+        for coords, value in zip(cells, values):
+            if self.along not in coords:
+                continue
+            metric = value.get(self.metric)
+            if metric is None:
+                continue
+            key = tuple(
+                (name, coord)
+                for name, coord in sorted(coords.items(), key=repr)
+                if name not in (self.along, "trial")
+            )
+            series = groups.setdefault(key, {})
+            series.setdefault(coords[self.along], []).append(float(metric))
+        violations: list[str] = []
+        for key, series in groups.items():
+            points = [(along, _mean(samples)) for along, samples in series.items()]
+            for (prev_at, prev), (cur_at, cur) in zip(points, points[1:]):
+                drift = cur - prev if self.direction == "increasing" else prev - cur
+                if drift < -self.tolerance:
+                    where = dict(key) or "all cells"
+                    violations.append(
+                        f"{self.metric} not {self.direction} along {self.along} "
+                        f"at {where}: {prev:.6g} @ {self.along}={prev_at!r} -> "
+                        f"{cur:.6g} @ {self.along}={cur_at!r}"
+                    )
+        return violations
+
+
+@dataclass(frozen=True)
+class Banded:
+    """Declares that a metric stays inside ``[lo, hi]`` in every cell."""
+
+    metric: str
+    lo: float | None = None
+    hi: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.lo is None and self.hi is None:
+            raise ConfigurationError("a band needs at least one of lo / hi")
+
+    def check(
+        self, cells: Sequence[Mapping[str, Any]], values: Sequence[Mapping[str, Any]]
+    ) -> list[str]:
+        violations: list[str] = []
+        for coords, value in zip(cells, values):
+            metric = value.get(self.metric)
+            if metric is None:
+                continue
+            metric = float(metric)
+            if self.lo is not None and metric < self.lo:
+                violations.append(
+                    f"{self.metric}={metric:.6g} below lo={self.lo:g} at {dict(coords)}"
+                )
+            elif self.hi is not None and metric > self.hi:
+                violations.append(
+                    f"{self.metric}={metric:.6g} above hi={self.hi:g} at {dict(coords)}"
+                )
+        return violations
+
+
+def check_shapes(
+    spec: "ExperimentSpec",
+    params: Any,
+    values: Sequence[Mapping[str, Any]],
+) -> list[str]:
+    """Every declared shape violation for a finished grid (empty = clean).
+
+    ``values`` must be in ``spec.cells(params)`` order, exactly as handed
+    to ``tabulate``.  The conformance suite runs this generically over
+    every registered experiment.
+    """
+    cells = spec.cells(params)
+    violations: list[str] = []
+    for shape in spec.shapes:
+        violations.extend(shape.check(cells, values))
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # spec
 # ---------------------------------------------------------------------------
 
@@ -246,6 +398,10 @@ class ExperimentSpec(ScenarioSpec):
         explicit ``cells`` callable instead remains supported.
     ``metrics``
         The values every cell reports (:class:`Metric`).
+    ``shapes``
+        Expected-shape declarations (:class:`Monotone`, :class:`Banded`)
+        over the reported metrics, asserted generically by
+        :func:`check_shapes` in the conformance suite.
     ``tabulate``
         The tabulation layout, as before: ``tabulate(params, values) ->
         Table | list[Table]`` with ``values`` in cell order.
@@ -261,6 +417,7 @@ class ExperimentSpec(ScenarioSpec):
 
     axes: tuple = ()
     metrics: tuple[Metric, ...] = ()
+    shapes: tuple = ()
 
     def __post_init__(self) -> None:
         sections = _as_sections(self.axes)

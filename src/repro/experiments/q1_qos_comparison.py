@@ -29,12 +29,20 @@ from dataclasses import dataclass, field
 
 from ..detectors import detector_keys, get_detector
 from ..harness.runner import run_grid
-from ..metrics import detection_stats, message_load, mistake_stats
+from ..metrics import (
+    detection_stats,
+    epoch_detection_stats,
+    epoch_mistake_stats,
+    message_load,
+    mistake_stats,
+)
 from ..sim.faults import CrashFault, FaultPlan
 from ..sim.latency import LogNormalLatency
 from .api import (
+    Banded,
     DetectorAxis,
     ExperimentSpec,
+    FaultAxis,
     Metric,
     TrialAxis,
     group_values,
@@ -42,7 +50,7 @@ from .api import (
     stat_mean,
 )
 from .report import Table
-from .scenarios import run_scenario, setup_for
+from .scenarios import fault_plan_for, run_scenario, setup_for
 
 __all__ = ["Q1Params", "SPEC", "run_cell", "tabulate", "run"]
 
@@ -64,10 +72,35 @@ class Q1Params:
     delay_median: float = 0.001
     delay_sigma: float = 0.5
     seed: int = 1
+    #: fault-scenario names (see repro.experiments.scenarios) — the
+    #: optional stress axis; omitted from artifacts while empty, so the
+    #: default grid stays byte-identical to pre-fault-plane runs.
+    faults: tuple[str, ...] = field(default=(), metadata={"omit_default": True})
 
     @classmethod
     def full(cls) -> "Q1Params":
         return cls(n=40, f=8, trials=10, crash_at=30.0, horizon=80.0)
+
+    # -- stress presets: the regimes where the accuracy axis separates ----
+    @classmethod
+    def partition(cls) -> "Q1Params":
+        """Two-sided split that heals mid-run (quorums stall, timers accuse)."""
+        return cls(faults=("partition",))
+
+    @classmethod
+    def crashrec(cls) -> "Q1Params":
+        """Crash-recovery episodes: volatile and persistent restarts."""
+        return cls(faults=("crashrec",))
+
+    @classmethod
+    def churn(cls) -> "Q1Params":
+        """Dynamic membership: a late joiner plus two departures."""
+        return cls(faults=("churn",))
+
+    @classmethod
+    def lossburst(cls) -> "Q1Params":
+        """A 25% per-link loss spike for a fifth of the run."""
+        return cls(faults=("lossburst",))
 
 
 def run_cell(params: Q1Params, coords: dict, seed: int) -> dict:
@@ -78,6 +111,9 @@ def run_cell(params: Q1Params, coords: dict, seed: int) -> dict:
         # Full mesh: every range is the whole system, so the density is n.
         setup = setup.with_(d=params.n)
     plan = FaultPlan.of(crashes=[CrashFault(victim, params.crash_at)])
+    fault = coords.get("fault")
+    if fault is not None:
+        return _run_stress_cell(params, setup, plan, fault, seed)
     cluster = run_scenario(
         setup=setup,
         n=params.n,
@@ -108,7 +144,113 @@ def run_cell(params: Q1Params, coords: dict, seed: int) -> dict:
     }
 
 
+def _run_stress_cell(
+    params: Q1Params, setup, plan: FaultPlan, fault: str, seed: int
+) -> dict:
+    """One stress cell: the scripted crash *plus* a named fault scenario,
+    scored against epoch ground truth (a suspicion of a down-but-recovering
+    node is correct until the recovery instant)."""
+    victim = params.n
+    members = tuple(range(1, params.n + 1))
+    plan = plan.merged(
+        fault_plan_for(
+            fault,
+            members=members,
+            f=params.f,
+            horizon=params.horizon,
+            exclude=(victim,),
+        )
+    )
+    if setup.retry is None:
+        # Query families stall when a partition or a burst eats the quorum;
+        # the lossy-channel rebroadcast (QueryPacing.retry) is the standard
+        # remedy and a no-op knob for the timer families.
+        setup = setup.with_(retry=2.0)
+    cluster = run_scenario(
+        setup=setup,
+        n=params.n,
+        f=params.f,
+        horizon=params.horizon,
+        latency=LogNormalLatency(params.delay_median, params.delay_sigma),
+        fault_plan=plan,
+        seed=seed,
+    )
+    windows = epoch_detection_stats(
+        cluster.trace, plan, cluster.membership, horizon=params.horizon
+    )
+    crash = next(
+        w for w in windows if w.crashed == victim and w.crash_time == params.crash_at
+    )
+    mistakes = epoch_mistake_stats(
+        cluster.trace, plan, cluster.membership, horizon=params.horizon
+    )
+    load = message_load(cluster.trace, horizon=params.horizon, n=params.n)
+    alive_time = mistakes.alive_pair_time
+    return {
+        "detect_mean": crash.mean_latency,
+        "detect_max": crash.max_latency,
+        "detected_by": len(crash.latencies),
+        # Per co-alive pair-second — same unit as the calm grid's
+        # per-pair-per-second rate, with epoch-aware denominators.
+        "mistake_rate": mistakes.count / alive_time if alive_time else None,
+        "query_accuracy": (
+            mistakes.query_accuracy_probability if alive_time else None
+        ),
+        "msgs_per_s": load["total"],
+    }
+
+
 def tabulate(params: Q1Params, values: list[dict]) -> Table:
+    if params.faults:
+        return _tabulate_stress(params, values)
+    return _tabulate_calm(params, values)
+
+
+def _tabulate_stress(params: Q1Params, values: list[dict]) -> Table:
+    table = Table(
+        title=(
+            f"Q1: QoS under fault stress — {', '.join(params.faults)} "
+            f"(n={params.n}, f={params.f}, 1 crash, {params.trials} trials)"
+        ),
+        headers=[
+            "fault",
+            "detector",
+            "detect mean (s)",
+            "detect max (s)",
+            "false susp. /pair/min",
+            "query accuracy P_A",
+            "msgs/s/process",
+        ],
+        precision=4,
+    )
+    grouped = group_values(SPEC.cells(params), values, "fault", "detector")
+    for fault in params.faults:
+        for detector in params.detectors:
+            trials = grouped[(fault, detector)]
+            detected = [v for v in trials if v["detect_mean"] is not None]
+            monitored = [v for v in trials if v["mistake_rate"] is not None]
+            table.add_row(
+                fault,
+                setup_for(detector).label,
+                stat_mean(v["detect_mean"] for v in detected),
+                stat_mean(v["detect_max"] for v in detected),
+                stat_mean(v["mistake_rate"] * 60.0 for v in monitored),
+                stat_mean(v["query_accuracy"] for v in monitored),
+                stat_mean(v["msgs_per_s"] for v in trials),
+            )
+    table.add_note(
+        "Suspicions scored against epoch ground truth: accusing a process "
+        "inside a down window (crash, pre-recovery, pre-join, departed) is "
+        "correct, not a mistake."
+    )
+    table.add_note(
+        "Query families run with retry rebroadcast (2s) so partition-stalled "
+        "rounds resume after the heal."
+    )
+    return table
+
+
+def _tabulate_calm(params: Q1Params, values: list[dict]) -> Table:
     table = Table(
         title=(
             f"Q1: QoS comparison — detection time vs query accuracy "
@@ -153,7 +295,7 @@ SPEC = register_experiment(
         exp_id="q1",
         title="QoS comparison: detection time vs accuracy, all registered detectors",
         params_cls=Q1Params,
-        axes=(DetectorAxis(), TrialAxis()),
+        axes=(FaultAxis(), DetectorAxis(), TrialAxis()),
         run_cell=run_cell,
         metrics=(
             Metric("detect_mean", "mean crash-detection latency T_D (s)"),
@@ -162,6 +304,12 @@ SPEC = register_experiment(
             Metric("mistake_rate", "false suspicions per correct pair per second (λ_M)"),
             Metric("query_accuracy", "fraction of pair-time the output was correct (P_A)"),
             Metric("msgs_per_s", "messages per second per process"),
+        ),
+        shapes=(
+            Banded("query_accuracy", lo=0.0, hi=1.0),
+            Banded("detect_mean", lo=0.0),
+            Banded("detect_max", lo=0.0),
+            Banded("msgs_per_s", lo=0.0),
         ),
         tabulate=tabulate,
     )

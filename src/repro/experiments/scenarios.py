@@ -23,17 +23,32 @@ delay δ averages 1 ms.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
 
 from ..detectors import get_detector, sim_driver_factory
+from ..errors import ConfigurationError
+from ..ids import ProcessId
 from ..sim.cluster import DriverFactory, SimCluster
-from ..sim.faults import FaultPlan
+from ..sim.faults import (
+    FaultPlan,
+    JoinFault,
+    LeaveFault,
+    LossBurst,
+    PartitionFault,
+    RecoveryFault,
+)
 from ..sim.latency import ExponentialLatency, LatencyModel
 from ..sim.topology import Topology
 
 __all__ = [
     "DetectorSetup",
+    "FaultScenario",
     "run_scenario",
     "setup_for",
+    "register_fault_scenario",
+    "get_fault_scenario",
+    "fault_scenario_keys",
+    "fault_plan_for",
     "TIME_FREE",
     "HEARTBEAT",
     "GOSSIP",
@@ -123,6 +138,179 @@ def setup_for(detector: "str | DetectorSetup") -> DetectorSetup:
         return preset
     get_detector(detector)  # raise early on unknown keys
     return DetectorSetup(kind=detector)
+
+
+# ---------------------------------------------------------------------------
+# fault scenarios
+# ---------------------------------------------------------------------------
+
+#: ``build(members, f, horizon, exclude)`` -> the scenario's fault plan
+FaultPlanBuilder = Callable[
+    [Sequence[ProcessId], int, float, frozenset], FaultPlan
+]
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, typed fault-plan builder — the value of a ``FaultAxis``.
+
+    Builders are **deterministic** (no RNG): every fault time is a fixed
+    fraction of the horizon and every victim a fixed pick from the sorted
+    membership, so a scenario name fully determines the plan and per-cell
+    seeds keep their meaning.  ``exclude`` shields processes with a
+    scripted role elsewhere in the cell (q1's crash victim) from double
+    casting.
+    """
+
+    name: str
+    summary: str
+    build: FaultPlanBuilder
+
+
+_FAULT_SCENARIOS: dict[str, FaultScenario] = {}
+
+
+def register_fault_scenario(scenario: FaultScenario) -> FaultScenario:
+    if not scenario.name or scenario.name != scenario.name.lower():
+        raise ConfigurationError(
+            f"fault scenario name must be non-empty lower-case: {scenario.name!r}"
+        )
+    existing = _FAULT_SCENARIOS.get(scenario.name)
+    if existing is not None and existing is not scenario:
+        raise ConfigurationError(
+            f"fault scenario {scenario.name!r} is already registered"
+        )
+    _FAULT_SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_fault_scenario(name: str) -> FaultScenario:
+    scenario = _FAULT_SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown fault scenario {name!r}; choose from {sorted(_FAULT_SCENARIOS)}"
+        )
+    return scenario
+
+
+def fault_scenario_keys() -> list[str]:
+    return sorted(_FAULT_SCENARIOS)
+
+
+def fault_plan_for(
+    name: str,
+    *,
+    members: Iterable[ProcessId],
+    f: int,
+    horizon: float,
+    exclude: Iterable[ProcessId] = (),
+) -> FaultPlan:
+    """Build the named scenario's plan for one concrete deployment."""
+    ordered = sorted(members, key=repr)
+    return get_fault_scenario(name).build(ordered, f, horizon, frozenset(exclude))
+
+
+def _eligible(
+    members: Sequence[ProcessId], exclude: frozenset
+) -> list[ProcessId]:
+    return [pid for pid in members if pid not in exclude]
+
+
+def _build_partition(
+    members: Sequence[ProcessId], f: int, horizon: float, exclude: frozenset
+) -> FaultPlan:
+    if len(members) < 2:
+        raise ConfigurationError("a partition needs at least 2 members")
+    half = len(members) // 2
+    return FaultPlan.of(
+        partitions=[
+            PartitionFault(
+                sides=(tuple(members[:half]), tuple(members[half:])),
+                start=0.25 * horizon,
+                end=0.45 * horizon,
+            )
+        ]
+    )
+
+
+def _build_crashrec(
+    members: Sequence[ProcessId], f: int, horizon: float, exclude: frozenset
+) -> FaultPlan:
+    victims = _eligible(members, exclude)[:2]
+    if not victims:
+        raise ConfigurationError("crashrec needs at least 1 eligible member")
+    recoveries = [
+        RecoveryFault(
+            process=victims[0],
+            crash=0.20 * horizon,
+            recover=0.35 * horizon,
+            persistent=False,
+        )
+    ]
+    if len(victims) > 1:
+        recoveries.append(
+            RecoveryFault(
+                process=victims[1],
+                crash=0.50 * horizon,
+                recover=0.65 * horizon,
+                persistent=True,
+            )
+        )
+    return FaultPlan.of(recoveries=recoveries)
+
+
+def _build_churn(
+    members: Sequence[ProcessId], f: int, horizon: float, exclude: frozenset
+) -> FaultPlan:
+    eligible = _eligible(members, exclude)
+    if len(eligible) < 3:
+        raise ConfigurationError("churn needs at least 3 eligible members")
+    joiner, first_leaver, second_leaver = eligible[:3]
+    return FaultPlan.of(
+        joins=[JoinFault(process=joiner, time=0.20 * horizon)],
+        leaves=[
+            LeaveFault(process=first_leaver, time=0.70 * horizon),
+            LeaveFault(process=second_leaver, time=0.80 * horizon),
+        ],
+    )
+
+
+def _build_lossburst(
+    members: Sequence[ProcessId], f: int, horizon: float, exclude: frozenset
+) -> FaultPlan:
+    return FaultPlan.of(
+        bursts=[LossBurst(start=0.30 * horizon, end=0.50 * horizon, rate=0.25)]
+    )
+
+
+register_fault_scenario(
+    FaultScenario(
+        name="partition",
+        summary="membership splits into two halves mid-run, heals later",
+        build=_build_partition,
+    )
+)
+register_fault_scenario(
+    FaultScenario(
+        name="crashrec",
+        summary="two crash-recovery episodes: one volatile, one persistent",
+        build=_build_crashrec,
+    )
+)
+register_fault_scenario(
+    FaultScenario(
+        name="churn",
+        summary="dynamic membership: one late joiner, two departures",
+        build=_build_churn,
+    )
+)
+register_fault_scenario(
+    FaultScenario(
+        name="lossburst",
+        summary="25% loss spike on every link for a fifth of the run",
+        build=_build_lossburst,
+    )
+)
 
 
 def run_scenario(

@@ -19,6 +19,7 @@ from ..harness.runner import run_grid
 from ..metrics import detection_stats
 from ..sim.faults import CrashFault, FaultPlan
 from .api import (
+    Banded,
     DetectorAxis,
     ExperimentSpec,
     Metric,
@@ -102,6 +103,10 @@ SPEC = register_experiment(
         metrics=(
             Metric("mean", "mean detection latency across correct observers (s)"),
             Metric("max", "strong-completeness latency: last observer to detect (s)"),
+        ),
+        shapes=(
+            Banded("mean", lo=0.0),
+            Banded("max", lo=0.0),
         ),
         tabulate=tabulate,
     )

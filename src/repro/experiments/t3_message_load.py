@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from ..harness.runner import run_grid
 from ..metrics import message_load
-from .api import DetectorAxis, ExperimentSpec, Metric, ParamAxis, register_experiment
+from .api import Banded, DetectorAxis, ExperimentSpec, Metric, Monotone, ParamAxis, register_experiment
 from .report import Table
 from .scenarios import run_scenario, setup_for
 
@@ -104,6 +104,11 @@ SPEC = register_experiment(
             Metric("total", "messages per second per process, all kinds"),
             Metric("dominant", "highest-volume message kind"),
             Metric("dominant_load", "msgs/s/process of the dominant kind"),
+        ),
+        shapes=(
+            Monotone("total", along="n", direction="increasing"),
+            Banded("total", lo=0.0),
+            Banded("dominant_load", lo=0.0),
         ),
         tabulate=tabulate,
     )

@@ -263,13 +263,15 @@ def _cmd_experiments() -> int:
     rows = []
     for exp_id, spec in all_experiments().items():
         axes = "×".join(spec.axis_names())
+        extra = ",".join(name for name in spec.presets() if name != "full") or "-"
         rows.append(
-            (exp_id, axes, spec.grid_size(), spec.grid_size(full=True), spec.title)
+            (exp_id, axes, spec.grid_size(), spec.grid_size(full=True), extra, spec.title)
         )
     width = max(len(row[1]) for row in rows)
-    print(f"{'id':<4} {'axes':<{width}} {'cells':>5} {'full':>5}  title")
-    for exp_id, axes, default, full, title in rows:
-        print(f"{exp_id:<4} {axes:<{width}} {default:>5} {full:>5}  {title}")
+    pwidth = max(len("presets"), max(len(row[4]) for row in rows))
+    print(f"{'id':<4} {'axes':<{width}} {'cells':>5} {'full':>5} {'presets':<{pwidth}}  title")
+    for exp_id, axes, default, full, extra, title in rows:
+        print(f"{exp_id:<4} {axes:<{width}} {default:>5} {full:>5} {extra:<{pwidth}}  {title}")
     return 0
 
 

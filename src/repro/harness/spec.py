@@ -54,10 +54,29 @@ def _jsonify(value: Any) -> Any:
 
 
 def params_to_dict(params: Any) -> dict[str, Any]:
-    """Parameter dataclass -> plain dict (tuples kept; JSON turns them into lists)."""
-    if dataclasses.is_dataclass(params) and not isinstance(params, type):
-        return dataclasses.asdict(params)
-    raise ConfigurationError(f"experiment params must be a dataclass, got {params!r}")
+    """Parameter dataclass -> plain dict (tuples kept; JSON turns them into lists).
+
+    Fields declared with ``metadata={"omit_default": True}`` are dropped
+    while they hold their default value.  This is what lets a params class
+    grow an opt-in field (e.g. a fault axis) without changing the params
+    dict embedded in artifacts and cache keys — byte-identity is preserved
+    for every run that does not set the field.
+    """
+    if not (dataclasses.is_dataclass(params) and not isinstance(params, type)):
+        raise ConfigurationError(f"experiment params must be a dataclass, got {params!r}")
+    result = dataclasses.asdict(params)
+    for spec_field in dataclasses.fields(params):
+        if not spec_field.metadata.get("omit_default"):
+            continue
+        if spec_field.default is not dataclasses.MISSING:
+            default = spec_field.default
+        elif spec_field.default_factory is not dataclasses.MISSING:
+            default = spec_field.default_factory()
+        else:
+            continue
+        if getattr(params, spec_field.name) == default:
+            del result[spec_field.name]
+    return result
 
 
 def cell_seed(exp_id: str, coords: Mapping[str, Any], base_seed: int) -> int:

@@ -16,11 +16,14 @@ service of failure detectors", IEEE ToC 2002):
 
 from .qos import (
     DetectionStats,
+    EpochMistakeStats,
     MistakeStats,
     PairQoS,
     accuracy_stabilization,
     all_detection_stats,
     detection_stats,
+    epoch_detection_stats,
+    epoch_mistake_stats,
     false_suspicion_series,
     message_load,
     mistake_stats,
@@ -29,11 +32,14 @@ from .qos import (
 
 __all__ = [
     "DetectionStats",
+    "EpochMistakeStats",
     "MistakeStats",
     "PairQoS",
     "accuracy_stabilization",
     "all_detection_stats",
     "detection_stats",
+    "epoch_detection_stats",
+    "epoch_mistake_stats",
     "false_suspicion_series",
     "message_load",
     "mistake_stats",

@@ -14,10 +14,13 @@ from ..sim.trace import TraceRecorder
 __all__ = [
     "DetectionStats",
     "MistakeStats",
+    "EpochMistakeStats",
     "PairQoS",
     "detection_stats",
     "all_detection_stats",
+    "epoch_detection_stats",
     "mistake_stats",
+    "epoch_mistake_stats",
     "pair_qos",
     "accuracy_stabilization",
     "false_suspicion_series",
@@ -147,6 +150,176 @@ def mistake_stats(
     )
 
 
+def _intersect(
+    intervals: Sequence[tuple[float, float]],
+    windows: Sequence[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Pairwise intersection of two sorted, disjoint interval lists."""
+    result: list[tuple[float, float]] = []
+    wi = 0
+    for start, end in intervals:
+        while wi < len(windows) and windows[wi][1] <= start:
+            wi += 1
+        probe = wi
+        while probe < len(windows) and windows[probe][0] < end:
+            lo = max(start, windows[probe][0])
+            hi = min(end, windows[probe][1])
+            if hi > lo:
+                result.append((lo, hi))
+            probe += 1
+    return result
+
+
+def _overlap_length(
+    a: Sequence[tuple[float, float]], b: Sequence[tuple[float, float]]
+) -> float:
+    return sum(end - start for start, end in _intersect(a, b))
+
+
+@dataclass(frozen=True)
+class EpochMistakeStats:
+    """False suspicions scored against epoch ground truth.
+
+    A suspicion of a target is a mistake only while the target is *up*
+    (per :meth:`~repro.sim.faults.FaultPlan.down_intervals`) — suspecting
+    a down-but-recovering node is correct until the recovery instant.
+    Observers only accuse while they themselves are up.
+    """
+
+    #: number of (clipped) wrong suspicion intervals across all pairs
+    count: int
+    total_duration: float
+    #: total (observer up ∧ target up) pair-time — the denominator of P_A
+    alive_pair_time: float
+    horizon: float
+    #: pairs wrongly suspected at the horizon (both endpoints still up)
+    unresolved: int
+
+    @property
+    def mean_duration(self) -> float | None:
+        return self.total_duration / self.count if self.count else None
+
+    @property
+    def rate(self) -> float:
+        """Mistakes per unit time, whole system (Chen's lambda_M analogue)."""
+        return self.count / self.horizon if self.horizon > 0 else 0.0
+
+    @property
+    def query_accuracy_probability(self) -> float:
+        """P_A: fraction of co-alive pair time with a correct answer."""
+        if self.alive_pair_time <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.total_duration / self.alive_pair_time)
+
+
+def epoch_mistake_stats(
+    trace: TraceRecorder,
+    fault_plan: FaultPlan,
+    membership: Iterable[ProcessId],
+    *,
+    horizon: float,
+) -> EpochMistakeStats:
+    """Aggregate false suspicions against per-epoch aliveness.
+
+    Generalizes :func:`mistake_stats` to plans with recovery, partitions
+    and dynamic membership: each suspicion interval of ``(observer,
+    target)`` is clipped to the time both endpoints are up, and the
+    accuracy denominator is the co-alive pair time rather than ``n^2 *
+    horizon``.  With a crash-only plan this reproduces the legacy notion
+    (mistakes among correct pairs, pre-crash time only).
+    """
+    if horizon <= 0:
+        raise ExperimentError(f"horizon must be > 0, got {horizon}")
+    members = sorted(frozenset(membership), key=repr)
+    alive: dict[ProcessId, tuple[tuple[float, float], ...]] = {
+        pid: fault_plan.alive_intervals(pid, horizon=horizon) for pid in members
+    }
+    count = 0
+    total = 0.0
+    unresolved = 0
+    alive_pair_time = 0.0
+    for observer in members:
+        observer_alive = alive[observer]
+        if not observer_alive:
+            continue
+        suspected_ever = trace.targets_of(observer)
+        for target in members:
+            if target == observer:
+                continue
+            target_alive = alive[target]
+            co_alive = _intersect(observer_alive, target_alive)
+            alive_pair_time += sum(end - start for start, end in co_alive)
+            if target not in suspected_ever:
+                continue
+            intervals = trace.suspicion_intervals(observer, target, horizon=horizon)
+            mistakes = _intersect(intervals, co_alive)
+            count += len(mistakes)
+            total += sum(end - start for start, end in mistakes)
+            if mistakes and mistakes[-1][1] >= horizon:
+                unresolved += 1
+    return EpochMistakeStats(
+        count=count,
+        total_duration=total,
+        alive_pair_time=alive_pair_time,
+        horizon=horizon,
+        unresolved=unresolved,
+    )
+
+
+def epoch_detection_stats(
+    trace: TraceRecorder,
+    fault_plan: FaultPlan,
+    membership: Iterable[ProcessId],
+    *,
+    horizon: float,
+) -> list[DetectionStats]:
+    """Detection stats for every *down window* in the plan.
+
+    Each element covers one ``[start, end)`` down interval of one process
+    (a permanent crash, a recovery window, a pre-join gap, or a
+    departure).  For a terminal window (the process never comes back) the
+    legacy permanent-suspicion notion applies; for a transient window an
+    observer detects by suspecting the target at any point inside it.
+    Observers are the processes the ground truth says are up when the
+    window closes.
+    """
+    if horizon <= 0:
+        raise ExperimentError(f"horizon must be > 0, got {horizon}")
+    members = frozenset(membership)
+    stats: list[DetectionStats] = []
+    for pid in sorted(members, key=repr):
+        for start, end in fault_plan.down_intervals(pid, horizon=horizon):
+            terminal = end >= horizon and not fault_plan.alive_at(pid, horizon)
+            observed_at = min(end, horizon)
+            observers = fault_plan.correct_at(observed_at, members) - {pid}
+            latencies: dict[ProcessId, float] = {}
+            undetected: set[ProcessId] = set()
+            for observer in observers:
+                if terminal:
+                    first = trace.permanent_suspicion_time(observer, pid)
+                else:
+                    first = None
+                    for s, e in trace.suspicion_intervals(
+                        observer, pid, horizon=horizon
+                    ):
+                        if e > start and s < end:
+                            first = max(s, start)
+                            break
+                if first is None:
+                    undetected.add(observer)
+                else:
+                    latencies[observer] = max(0.0, first - start)
+            stats.append(
+                DetectionStats(
+                    crashed=pid,
+                    crash_time=start,
+                    latencies=latencies,
+                    undetected=frozenset(undetected),
+                )
+            )
+    return stats
+
+
 @dataclass(frozen=True)
 class PairQoS:
     """Chen-Toueg-Aguilera QoS of one (observer, target) monitored pair."""
@@ -266,7 +439,7 @@ def false_suspicion_series(
     which must collapse back to zero after reconnection.
     """
     return [
-        (t, trace.false_suspicion_count_at(t, fault_plan.crashed_by(t)))
+        (t, trace.false_suspicion_count_at(t, fault_plan.down_at(t)))
         for t in sample_times
     ]
 

@@ -19,7 +19,7 @@ from ..core.protocol import DetectorConfig, TimeFreeDetector
 from ..errors import ConfigurationError, SimulationError
 from ..ids import ProcessId
 from .engine import Scheduler
-from .faults import FaultPlan, MobilityFault
+from .faults import FaultPlan, JoinFault, LeaveFault, MobilityFault, RecoveryFault
 from .latency import ConstantLatency, LatencyModel
 from .network import SimNetwork
 from .node import QueryPacing, QueryResponseDriver, SimProcess, TimedDriver, TimedProtocolCore
@@ -79,6 +79,7 @@ class SimCluster:
                 f"unknown latency_backend {latency_backend!r}; "
                 "choose 'python' or 'numpy'"
             )
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.none()
         self.network = SimNetwork(
             self.scheduler,
             topology,
@@ -86,8 +87,9 @@ class SimCluster:
             self.rng,
             loss_rate=loss_rate,
             trace=self.trace,
+            bursts=self.fault_plan.bursts,
         )
-        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.none()
+        self._driver_factory = driver_factory
         self.processes: dict[ProcessId, SimProcess] = {}
         self.drivers: dict[ProcessId, object] = {}
         for pid in sorted(self.membership, key=repr):
@@ -96,6 +98,15 @@ class SimCluster:
             process.bind(driver)
             self.processes[pid] = process
             self.drivers[pid] = driver
+        # Late joiners sit out until their JoinFault fires: down, detached,
+        # and (when the plan rewires them) edge-less until join time.
+        for join in self.fault_plan.joins:
+            process = self._process_or_raise(join.process)
+            process.alive = False
+            process.attached = False
+            self.network.detach(join.process)
+            if join.connect_to is not None:
+                self.topology.isolate(join.process)
         self._schedule_start(start_stagger)
         self._schedule_faults()
 
@@ -104,12 +115,16 @@ class SimCluster:
         if stagger < 0:
             raise ConfigurationError(f"start_stagger must be >= 0, got {stagger}")
         start_rng = self.rng.stream("cluster", "start")
+        # Late joiners are started by their JoinFault, not here.  Legacy
+        # plans have no joins, so the per-pid draw sequence is unchanged.
+        joiners = frozenset(join.process for join in self.fault_plan.joins)
         self.scheduler.schedule_batch(
             (
                 (start_rng.uniform(0.0, stagger) if stagger > 0 else 0.0,
                  self.processes[pid].start,
                  ())
                 for pid in sorted(self.membership, key=repr)
+                if pid not in joiners
             )
         )
 
@@ -123,7 +138,44 @@ class SimCluster:
             events.append((move.depart, process.detach, ()))
             if move.arrive is not None:
                 events.append((move.arrive, self._reattach, (move,)))
+        for recovery in self.fault_plan.recoveries:
+            process = self._process_or_raise(recovery.process)
+            events.append((recovery.crash, process.crash, ()))
+            events.append((recovery.recover, self._recover, (recovery,)))
+        for join in self.fault_plan.joins:
+            self._process_or_raise(join.process)
+            events.append((join.time, self._join, (join,)))
+        for leave in self.fault_plan.leaves:
+            self._process_or_raise(leave.process)
+            events.append((leave.time, self._leave, (leave,)))
+        for partition in self.fault_plan.partitions:
+            for pid in partition.members():
+                self._process_or_raise(pid)
+            events.append((partition.start, self.network.begin_partition, (partition,)))
+            if partition.end is not None:
+                events.append((partition.end, self.network.end_partition, (partition,)))
         self.scheduler.schedule_batch(events)
+
+    def _recover(self, fault: RecoveryFault) -> None:
+        process = self.processes[fault.process]
+        if fault.persistent:
+            # Stable storage: the driver (and its detector state) survives.
+            process.recover(fresh=False)
+        else:
+            # Volatile state: rebuild the detector from scratch and rebind.
+            driver = self._driver_factory(process, self)
+            process.rebind_driver(driver)
+            self.drivers[fault.process] = driver
+            process.recover(fresh=True)
+
+    def _join(self, fault: JoinFault) -> None:
+        if fault.connect_to is not None:
+            self.topology.connect(fault.process, fault.connect_to)
+        self.processes[fault.process].join()
+
+    def _leave(self, fault: LeaveFault) -> None:
+        self.processes[fault.process].leave()
+        self.topology.isolate(fault.process)
 
     def _reattach(self, move: MobilityFault) -> None:
         if move.new_position is not None:

@@ -119,14 +119,33 @@ class MessagePatternMonitor:
         )
 
     def current_witness(
-        self, *, crashed: frozenset[ProcessId] = frozenset()
+        self,
+        *,
+        crashed: frozenset[ProcessId] = frozenset(),
+        plan=None,
+        at: float | None = None,
     ) -> MPWitness | None:
         """An MP witness based on *current* streaks, or ``None``.
 
         A witness is a non-crashed responder currently on a
         ``min_streak``-long winning streak with at least ``f + 1``
         queriers.
+
+        Epoch-aware exclusion: pass a :class:`~repro.sim.faults.FaultPlan`
+        as ``plan`` (and the instant ``at``, defaulting to the attached
+        clock) to exclude every process the ground truth says is down at
+        that instant — crashed, inside a recovery window, departed, or
+        not yet joined.
         """
+        if plan is not None:
+            when = at
+            if when is None:
+                if self._clock is None:
+                    raise ConfigurationError(
+                        "plan-based exclusion needs `at` or an attached cluster clock"
+                    )
+                when = self._clock.now
+            crashed = frozenset(crashed) | plan.down_at(when)
         minimum = self.min_streak
         queriers_of = self._querier_order
         candidates = (
@@ -145,5 +164,11 @@ class MessagePatternMonitor:
                 )
         return None
 
-    def holds(self, *, crashed: frozenset[ProcessId] = frozenset()) -> bool:
-        return self.current_witness(crashed=crashed) is not None
+    def holds(
+        self,
+        *,
+        crashed: frozenset[ProcessId] = frozenset(),
+        plan=None,
+        at: float | None = None,
+    ) -> bool:
+        return self.current_witness(crashed=crashed, plan=plan, at=at) is not None

@@ -23,6 +23,7 @@ from ..errors import SimulationError
 from ..ids import ProcessId
 from ..core.messages import message_kind_of
 from .engine import Scheduler
+from .faults import LossBurst, PartitionFault
 from .latency import LatencyModel
 from .rng import RngStreams
 from .topology import Topology
@@ -45,6 +46,7 @@ class SimNetwork:
         *,
         loss_rate: float = 0.0,
         trace: TraceRecorder | None = None,
+        bursts: tuple[LossBurst, ...] = (),
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -63,6 +65,24 @@ class SimNetwork:
         #: `_handlers` minus detached pids: one dict probe decides both
         #: "is attached" and "who receives" on the delivery hot path.
         self._live_handlers: dict[ProcessId, DeliveryHandler] = {}
+        #: active partitions, as ``(fault, process -> side index)`` pairs;
+        #: empty in every legacy scenario so the hot-path cost is one truth
+        #: test on the list.
+        self._partitions: list[tuple[PartitionFault, dict[ProcessId, int]]] = []
+        #: loss-burst episodes with precomputed undirected link sets; draws
+        #: come from their own RNG stream, so burst-free runs never touch it.
+        self._bursts: tuple[
+            tuple[LossBurst, frozenset[frozenset[ProcessId]] | None], ...
+        ] = tuple(
+            (
+                burst,
+                None
+                if burst.links is None
+                else frozenset(frozenset(pair) for pair in burst.links),
+            )
+            for burst in bursts
+        )
+        self._burst_rng = rng.stream("network", "burst") if self._bursts else None
 
     # ------------------------------------------------------------------
     def register(self, pid: ProcessId, handler: DeliveryHandler) -> None:
@@ -103,6 +123,42 @@ class SimNetwork:
     def is_attached(self, pid: ProcessId) -> bool:
         return pid not in self._detached
 
+    # -- partitions -------------------------------------------------------
+    def begin_partition(self, fault: PartitionFault) -> None:
+        """The partition becomes active: cross-side traffic starts dying."""
+        self._partitions.append((fault, fault.side_of()))
+
+    def end_partition(self, fault: PartitionFault) -> None:
+        """The partition heals; the pre-partition link set is restored
+        verbatim (the topology was never mutated)."""
+        self._partitions = [
+            entry for entry in self._partitions if entry[0] is not fault
+        ]
+
+    def is_separated(self, src: ProcessId, dst: ProcessId) -> bool:
+        """Is traffic between the two endpoints cut by an active partition?"""
+        for _fault, side_of in self._partitions:
+            src_side = side_of.get(src)
+            if src_side is None:
+                continue
+            dst_side = side_of.get(dst)
+            if dst_side is not None and dst_side != src_side:
+                return True
+        return False
+
+    # -- loss bursts ------------------------------------------------------
+    def _burst_drop(self, src: ProcessId, dst: ProcessId) -> bool:
+        """Draw against every burst covering this link right now."""
+        now = self.scheduler.now
+        for burst, links in self._bursts:
+            if not burst.start <= now < burst.end:
+                continue
+            if links is not None and frozenset((src, dst)) not in links:
+                continue
+            if self._burst_rng.random() < burst.rate:
+                return True
+        return False
+
     # -- transmission -------------------------------------------------------
     def send(self, src: ProcessId, dst: ProcessId, message: object) -> bool:
         """Point-to-point transmission to a 1-hop neighbor.
@@ -117,7 +173,13 @@ class SimNetwork:
             # The destination moved out of range since we learned about it.
             self.trace.record_drop()
             return False
+        if self._partitions and self.is_separated(src, dst):
+            self.trace.record_drop()
+            return False
         if self._lossy and self._loss_rng.random() < self._loss_rate:
+            self.trace.record_drop()
+            return False
+        if self._bursts and self._burst_drop(src, dst):
             self.trace.record_drop()
             return False
         # Flattened hot path: sample + schedule without the _sample_delay /
@@ -152,6 +214,14 @@ class SimNetwork:
             return 0
         dsts: tuple[ProcessId, ...] | list[ProcessId]
         dsts = self.topology.sorted_neighbors(src)
+        if self._partitions:
+            # Partition check precedes the loss draw, mirroring `send`, so
+            # the loss stream sees exactly the destinations a per-target
+            # send loop would have drawn for.
+            reachable = [dst for dst in dsts if not self.is_separated(src, dst)]
+            if len(reachable) != len(dsts):
+                self.trace.record_drops(len(dsts) - len(reachable))
+            dsts = reachable
         if self._lossy:
             rate = self._loss_rate
             loss = self._loss_rng.random
@@ -162,6 +232,11 @@ class SimNetwork:
             if len(kept) != len(dsts):
                 self.trace.record_drops(len(dsts) - len(kept))
             dsts = kept
+        if self._bursts:
+            survived = [dst for dst in dsts if not self._burst_drop(src, dst)]
+            if len(survived) != len(dsts):
+                self.trace.record_drops(len(dsts) - len(survived))
+            dsts = survived
         if not dsts:
             return 0
         now = self.scheduler.now
@@ -185,6 +260,10 @@ class SimNetwork:
         # separate detached check and handler lookup.
         handler = self._live_handlers.get(dst)
         if handler is None:
+            self.trace.record_drop()
+            return
+        if self._partitions and self.is_separated(src, dst):
+            # The partition started while this message was in flight.
             self.trace.record_drop()
             return
         handler(src, message)

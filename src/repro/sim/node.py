@@ -144,6 +144,8 @@ class SimProcess:
         self.trace = trace
         self.alive = True
         self.attached = True
+        #: how many times this process has restarted (crash-recovery)
+        self.incarnation = 0
         self.driver: _Driver | None = None
         network.register(pid, self.deliver)
 
@@ -156,6 +158,13 @@ class SimProcess:
         # by the network's detached-set check: :meth:`crash` and
         # :meth:`detach` both detach this pid, so a dead or moving node
         # never reaches the handler.
+        self.network.rebind(self.pid, driver.on_message)
+
+    def rebind_driver(self, driver: "_Driver") -> None:
+        """Replace the bound driver (volatile-state crash-recovery)."""
+        if self.driver is None:
+            raise SimulationError(f"{self.pid!r} has no driver to replace")
+        self.driver = driver
         self.network.rebind(self.pid, driver.on_message)
 
     # -- lifecycle ----------------------------------------------------------
@@ -194,6 +203,48 @@ class SimProcess:
         if self.driver is not None:
             self.driver.on_attach()
 
+    def recover(self, *, fresh: bool = False) -> None:
+        """Crash-recovery restart with an incremented incarnation.
+
+        ``fresh`` marks a volatile-state restart: the (newly rebound)
+        driver is started from scratch via ``on_start``.  Otherwise the
+        surviving driver resumes through ``on_recover`` (persistent
+        state, stable storage).
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.attached = True
+        self.incarnation += 1
+        self.network.attach(self.pid)
+        self.trace.record_recovery(self.scheduler.now, self.pid, self.incarnation)
+        if self.driver is not None:
+            if fresh:
+                self.driver.on_start()
+            else:
+                self.driver.on_recover()
+
+    def join(self) -> None:
+        """Dynamic membership: start participating (the node was down)."""
+        if self.alive and self.attached:
+            return
+        self.alive = True
+        self.attached = True
+        self.network.attach(self.pid)
+        self.trace.record_membership(self.scheduler.now, self.pid, "join")
+        if self.driver is not None:
+            self.driver.on_start()
+
+    def leave(self) -> None:
+        """Dynamic membership: depart for good."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.network.detach(self.pid)
+        self.trace.record_membership(self.scheduler.now, self.pid, "leave")
+        if self.driver is not None:
+            self.driver.on_leave()
+
     # -- I/O ------------------------------------------------------------------
     def deliver(self, src: ProcessId, message: object) -> None:
         if not self.alive or not self.attached or self.driver is None:
@@ -225,6 +276,10 @@ class _Driver(Protocol):
     def on_detach(self) -> None: ...
 
     def on_attach(self) -> None: ...
+
+    def on_recover(self) -> None: ...
+
+    def on_leave(self) -> None: ...
 
     def suspects(self) -> frozenset: ...
 
@@ -269,6 +324,19 @@ class QueryResponseDriver:
 
     def on_attach(self) -> None:
         self._begin_round()
+
+    def on_recover(self) -> None:
+        # Persistent-state restart: whatever round was in flight at the
+        # crash is stale — abort it and open a fresh one.
+        self._cancel_pending()
+        if self.detector.collecting:
+            self.detector.abort_round()
+        self._begin_round()
+
+    def on_leave(self) -> None:
+        self._cancel_pending()
+        if self.detector.collecting:
+            self.detector.abort_round()
 
     def suspects(self) -> frozenset:
         return self.detector.suspects()
@@ -430,6 +498,13 @@ class TimedDriver:
         effects = self.core.on_wakeup(self.process.scheduler.now)
         self.process.execute(effects)
         self._rearm()
+
+    def on_recover(self) -> None:
+        # Persistent-state restart: resume the timer loop where it stood.
+        self.on_attach()
+
+    def on_leave(self) -> None:
+        self._cancel_timer()
 
     def suspects(self) -> frozenset:
         return self.core.suspects()

@@ -51,6 +51,8 @@ __all__ = [
     "RoundRecord",
     "CrashEvent",
     "MobilityEvent",
+    "RecoveryEvent",
+    "MembershipEvent",
     "TraceRecorder",
 ]
 
@@ -95,6 +97,20 @@ class MobilityEvent:
     time: float
     process: ProcessId
     kind: str  # "detach" | "attach"
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryEvent:
+    time: float
+    process: ProcessId
+    incarnation: int
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipEvent:
+    time: float
+    process: ProcessId
+    kind: str  # "join" | "leave"
 
 
 class _Interner:
@@ -870,6 +886,8 @@ class TraceRecorder:
         "backend",
         "crashes",
         "mobility",
+        "recoveries",
+        "membership_events",
         "messages_by_kind",
         "messages_by_sender",
         "messages_total",
@@ -903,6 +921,8 @@ class TraceRecorder:
         self.backend = backend
         self.crashes: list[CrashEvent] = []
         self.mobility: list[MobilityEvent] = []
+        self.recoveries: list[RecoveryEvent] = []
+        self.membership_events: list[MembershipEvent] = []
         self.messages_by_kind: Counter = Counter()
         self.messages_by_sender: Counter = Counter()
         self.messages_total = 0
@@ -951,6 +971,12 @@ class TraceRecorder:
 
     def record_mobility(self, time: float, process: ProcessId, kind: str) -> None:
         self.mobility.append(MobilityEvent(time, process, kind))
+
+    def record_recovery(self, time: float, process: ProcessId, incarnation: int) -> None:
+        self.recoveries.append(RecoveryEvent(time, process, incarnation))
+
+    def record_membership(self, time: float, process: ProcessId, kind: str) -> None:
+        self.membership_events.append(MembershipEvent(time, process, kind))
 
     def record_message(self, kind: str, sender: ProcessId) -> None:
         self.messages_total += 1

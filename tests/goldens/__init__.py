@@ -78,3 +78,20 @@ def smoke_params():
             n=8, f=2, trials=1, crash_at=5.0, horizon=15.0
         ),
     }
+
+
+#: q1 stress presets pinned by chaos goldens (one per new fault kind);
+#: artifacts live at ``chaos/<preset>/BENCH_Q1.json``
+CHAOS_PRESETS = ("partition", "crashrec", "churn", "lossburst")
+
+
+def chaos_params():
+    """preset name -> smoke-sized q1 params with that fault scenario."""
+    from repro.experiments import q1_qos_comparison
+
+    return {
+        preset: q1_qos_comparison.Q1Params(
+            n=8, f=2, trials=1, crash_at=5.0, horizon=15.0, faults=(preset,)
+        )
+        for preset in CHAOS_PRESETS
+    }

@@ -15,7 +15,7 @@ import time
 from repro.harness import run_grid, write_artifact
 from repro.harness.registry import get_spec
 
-from . import GOLDEN_DIR, GOLDEN_EXPERIMENTS, smoke_params
+from . import CHAOS_PRESETS, GOLDEN_DIR, GOLDEN_EXPERIMENTS, chaos_params, smoke_params
 
 
 def main() -> int:
@@ -25,6 +25,15 @@ def main() -> int:
         result = run_grid(get_spec(exp_id), params_by_id[exp_id])
         path = write_artifact(GOLDEN_DIR, result)
         print(f"{exp_id}: {len(result.outcomes)} cells "
+              f"in {time.perf_counter() - started:.1f}s -> {path}")
+    chaos = chaos_params()
+    for preset in CHAOS_PRESETS:
+        started = time.perf_counter()
+        result = run_grid(get_spec("q1"), chaos[preset])
+        out_dir = GOLDEN_DIR / "chaos" / preset
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = write_artifact(out_dir, result)
+        print(f"q1[{preset}]: {len(result.outcomes)} cells "
               f"in {time.perf_counter() - started:.1f}s -> {path}")
     return 0
 

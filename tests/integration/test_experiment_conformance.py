@@ -23,6 +23,7 @@ import pytest
 from repro.experiments.api import (
     ExperimentSpec,
     all_experiments,
+    check_shapes,
     experiment_keys,
     get_experiment,
 )
@@ -186,6 +187,26 @@ class TestCellContract:
             assert table.rows
             for row in table.rows:
                 assert len(row) == len(table.headers)
+
+
+@pytest.mark.parametrize("exp_id", EXPERIMENTS)
+class TestDeclaredShapes:
+    def test_declared_shapes_hold_on_smoke_run(self, exp_id):
+        # Expected-shape declarations (Monotone/Banded) are asserted
+        # generically: whatever an experiment declares must hold on its
+        # smoke grid.  Experiments without shapes pass vacuously.
+        result = _smoke_run(exp_id)
+        values = [outcome.value for outcome in result.outcomes]
+        violations = check_shapes(result.spec, result.params, values)
+        assert not violations, f"{exp_id}: " + "; ".join(violations)
+
+
+def test_shape_declarations_exist_somewhere():
+    # The generic assertion above must not be vacuous across the board.
+    declared = {
+        exp_id for exp_id, spec in all_experiments().items() if spec.shapes
+    }
+    assert {"t1", "t3", "a1", "q1"} <= declared
 
 
 @pytest.mark.parametrize("exp_id", GOLDEN_EXPERIMENTS)

@@ -1,0 +1,102 @@
+"""Integration tests for the q1 stress presets (the chaos fault plane).
+
+Pins each preset's artifact byte-for-byte against the committed chaos
+goldens (``tests/goldens/chaos/<preset>/BENCH_Q1.json``) and asserts the
+headline acceptance property: under ``partition`` and ``crashrec`` the
+query-accuracy metric P_A separates at least three detector families.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.harness import run_grid, write_artifact
+from repro.harness.registry import get_spec
+
+from tests.goldens import CHAOS_PRESETS, GOLDEN_DIR, chaos_params
+
+PRESET_METHODS = {
+    "partition": "partition",
+    "crashrec": "crashrec",
+    "churn": "churn",
+    "lossburst": "lossburst",
+}
+
+
+@lru_cache(maxsize=None)
+def _chaos_run(preset: str):
+    return run_grid(get_spec("q1"), chaos_params()[preset])
+
+
+def _accuracy_by_detector(result):
+    by_detector: dict[str, list[float]] = {}
+    for outcome in result.outcomes:
+        by_detector.setdefault(outcome.coords["detector"], []).append(
+            outcome.value["query_accuracy"]
+        )
+    return {
+        detector: sum(vals) / len(vals) for detector, vals in by_detector.items()
+    }
+
+
+@pytest.mark.parametrize("preset", CHAOS_PRESETS)
+class TestChaosGoldens:
+    def test_artifact_is_byte_identical_to_golden(self, preset, tmp_path):
+        path = write_artifact(tmp_path, _chaos_run(preset))
+        golden = GOLDEN_DIR / "chaos" / preset / path.name
+        assert golden.exists(), (
+            f"missing chaos golden for {preset!r}; "
+            "run `python -m tests.goldens.regenerate`"
+        )
+        assert path.read_bytes() == golden.read_bytes(), (
+            f"q1[{preset}]: artifact drifted from the committed chaos golden — "
+            "a fault-schedule, seed or scoring change is observable; "
+            "regenerate only if intended"
+        )
+
+    def test_preset_constructor_matches_golden_params(self, preset):
+        from repro.experiments.q1_qos_comparison import Q1Params
+
+        built = getattr(Q1Params, PRESET_METHODS[preset])()
+        assert built.faults == (preset,)
+        # make_params routes preset names to these constructors.
+        spec = get_spec("q1")
+        assert spec.make_params(preset=preset).faults == (preset,)
+
+    def test_every_cell_reports_epoch_metrics(self, preset):
+        result = _chaos_run(preset)
+        for outcome in result.outcomes:
+            assert outcome.coords["fault"] == preset
+            value = outcome.value
+            assert 0.0 <= value["query_accuracy"] <= 1.0
+            assert value["detect_mean"] is None or value["detect_mean"] >= 0.0
+
+    def test_scripted_crash_still_detected(self, preset):
+        # The q1 scripted victim crashes at crash_at under every preset;
+        # the stress scenario must not mask that detection.
+        result = _chaos_run(preset)
+        for outcome in result.outcomes:
+            assert outcome.value["detected_by"] > 0, (
+                f"q1[{preset}] {outcome.coords}: scripted crash undetected"
+            )
+
+
+class TestFamilySeparation:
+    """Acceptance: P_A separates >= 3 detector families under stress."""
+
+    @pytest.mark.parametrize("preset", ["partition", "crashrec"])
+    def test_pa_separates_three_families(self, preset):
+        accuracy = _accuracy_by_detector(_chaos_run(preset))
+        assert len(accuracy) >= 3
+        distinct = {round(value, 3) for value in accuracy.values()}
+        assert len(distinct) >= 3, (
+            f"q1[{preset}]: P_A separates only {len(distinct)} families: {accuracy}"
+        )
+
+    def test_partition_is_hardest_on_timed_families(self):
+        # Quorum detectors ride out the split (rounds stall, no false
+        # suspicion); timed families accuse the far side.
+        accuracy = _accuracy_by_detector(_chaos_run("partition"))
+        assert accuracy["time-free"] == pytest.approx(1.0)
+        timed = [v for k, v in accuracy.items() if k not in ("time-free", "partial")]
+        assert timed and all(v < 1.0 for v in timed)
