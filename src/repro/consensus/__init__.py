@@ -1,29 +1,67 @@
-"""Chandra-Toueg ◇S consensus — the application the detector exists for.
+"""Consensus — the workload plane the detector exists for.
 
 Chandra & Toueg proved that consensus is solvable in an asynchronous system
 augmented with a ◇S failure detector when a majority of processes is
 correct.  This package implements their rotating-coordinator protocol as a
-sans-I/O state machine (:mod:`repro.consensus.protocol`) that *pulls* the
-suspect list from any :class:`repro.core.classes.FailureDetector`, plus a
-simulation harness (:mod:`repro.consensus.sim_runner`) that co-hosts the
-detector and the consensus participant on each simulated node.
+sans-I/O state machine (:mod:`repro.consensus.protocol`), an Ω-based
+early-deciding variant (:mod:`repro.consensus.omega_protocol`), and a
+string-keyed plugin registry (:mod:`repro.consensus.registry`) mirroring
+the detector registry: protocols are :class:`ConsensusSpec` entries with
+typed params and a ``factory(context, params, oracle)`` building one
+process's participant.
 
-The T4 experiment runs this consensus over the time-free detector and over
-every baseline, fault-free and with a crashed coordinator.
+The simulation harness (:mod:`repro.consensus.sim_runner`) co-hosts any
+registered detector with any registered protocol on each simulated node and
+supports repeated multi-instance runs with a per-instance decision ledger.
+The t4 experiment compares decision latency across detectors; c1 measures
+decision latency and aborted rounds against detector QoS under the fault
+scenarios.
 """
 
-from .messages import Ack, Decide, Estimate, Nack, Proposal
+from .builtin import CT_SPEC, OMEGA_SPEC, ChandraTouegParams, OmegaParams
+from .messages import Ack, Decide, Estimate, InstanceEnvelope, Nack, Proposal
+from .omega_protocol import OmegaConsensus
 from .protocol import ChandraTouegConsensus, ConsensusConfig
-from .sim_runner import ConsensusHarness, ConsensusRunResult
+from .registry import (
+    all_protocols,
+    build_protocol,
+    get_protocol,
+    protocol_keys,
+    register_protocol,
+)
+from .sim_runner import (
+    ConsensusHarness,
+    ConsensusNodeDriver,
+    ConsensusRunResult,
+    InstanceOutcome,
+)
+from .spec import ConsensusContext, ConsensusOracle, ConsensusSpec, oracle_from_suspects
 
 __all__ = [
     "Ack",
+    "CT_SPEC",
     "ChandraTouegConsensus",
+    "ChandraTouegParams",
     "ConsensusConfig",
+    "ConsensusContext",
     "ConsensusHarness",
+    "ConsensusNodeDriver",
+    "ConsensusOracle",
     "ConsensusRunResult",
+    "ConsensusSpec",
     "Decide",
     "Estimate",
+    "InstanceEnvelope",
+    "InstanceOutcome",
     "Nack",
+    "OMEGA_SPEC",
+    "OmegaConsensus",
+    "OmegaParams",
     "Proposal",
+    "all_protocols",
+    "build_protocol",
+    "get_protocol",
+    "oracle_from_suspects",
+    "protocol_keys",
+    "register_protocol",
 ]

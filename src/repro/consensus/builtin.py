@@ -1,0 +1,87 @@
+"""The two built-in consensus protocols, registered with the plugin registry.
+
+==========  =======  ==================================================
+key         oracle   mechanism / liveness assumption
+==========  =======  ==================================================
+``ct``      suspects Chandra-Toueg '96 rotating coordinator: phase-1
+                     estimates, majority proposal with maximal ``ts``,
+                     ack/nack, reliable DECIDE.  Safe always; live under
+                     ◇S with ``f < n/2``.
+``omega``   leader   Same locking machinery, but phase 3 trusts the
+                     elected leader (nack when ``leader() !=
+                     coordinator``) and round 1 skips phase 1 — the
+                     coordinator proposes its own value directly (early
+                     decision).  Safe always; live under Ω.
+==========  =======  ==================================================
+
+Each protocol's knobs live in a frozen params dataclass; validation of
+knob *values* stays in the state machines — the registry only validates
+knob names, mirroring the detector registry's contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .omega_protocol import OmegaConsensus
+from .protocol import ChandraTouegConsensus, ConsensusConfig
+from .registry import register_protocol
+from .spec import ConsensusContext, ConsensusOracle, ConsensusSpec
+
+__all__ = ["ChandraTouegParams", "OmegaParams", "CT_SPEC", "OMEGA_SPEC"]
+
+
+@dataclass(frozen=True)
+class ChandraTouegParams:
+    """CT has no tunables — the protocol is fully determined by (n, f)."""
+
+
+@dataclass(frozen=True)
+class OmegaParams:
+    """``fast_round`` skips phase 1 in round 1 (early decision); turning it
+    off yields a leader-oracle CT useful for apples-to-apples round counts."""
+
+    fast_round: bool = True
+
+
+def _config(context: ConsensusContext) -> ConsensusConfig:
+    return ConsensusConfig(
+        process_id=context.process_id, membership=context.membership, f=context.f
+    )
+
+
+def _build_ct(
+    context: ConsensusContext, params: ChandraTouegParams, oracle: ConsensusOracle
+) -> ChandraTouegConsensus:
+    return ChandraTouegConsensus(_config(context), oracle.suspects)
+
+
+def _build_omega(
+    context: ConsensusContext, params: OmegaParams, oracle: ConsensusOracle
+) -> OmegaConsensus:
+    return OmegaConsensus(_config(context), oracle.leader, fast_round=params.fast_round)
+
+
+CT_SPEC = register_protocol(
+    ConsensusSpec(
+        key="ct",
+        title="Chandra-Toueg ◇S rotating coordinator",
+        params_cls=ChandraTouegParams,
+        factory=_build_ct,
+        oracle="suspects",
+        summary="4-phase rotating coordinator over a ◇S suspect list; "
+        "safe under any detector output, live under ◇S with f < n/2",
+    )
+)
+
+OMEGA_SPEC = register_protocol(
+    ConsensusSpec(
+        key="omega",
+        title="Ω early-deciding rotating coordinator",
+        params_cls=OmegaParams,
+        factory=_build_omega,
+        oracle="leader",
+        summary="CT locking machinery over an Ω leader oracle; round 1 skips "
+        "phase 1 (coordinator proposes its own value), live under Ω",
+    )
+)

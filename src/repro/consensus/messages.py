@@ -1,4 +1,13 @@
-"""Wire messages of the Chandra-Toueg rotating-coordinator protocol."""
+"""Wire messages of the rotating-coordinator consensus protocols.
+
+The five ballot kinds (``ct.*``) are shared by every registered protocol —
+they carry round-scoped payloads, not protocol identity.  Multi-instance
+runs wrap the ballots of instances ≥ 2 in an :class:`InstanceEnvelope`
+(kind ``consensus.instance``) so one pair of co-hosted stacks can run a
+whole sequence of consensus instances over the same transport; instance 1
+stays bare on the wire, keeping single-instance traces (and the t4 golden)
+byte-identical to the pre-envelope format.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +17,7 @@ from typing import Any
 from ..core.messages import register_message
 from ..ids import ProcessId
 
-__all__ = ["Estimate", "Proposal", "Ack", "Nack", "Decide"]
+__all__ = ["Estimate", "Proposal", "Ack", "Nack", "Decide", "InstanceEnvelope"]
 
 
 @register_message("ct.estimate")
@@ -62,3 +71,18 @@ class Decide:
 
     sender: ProcessId
     value: Any
+
+
+@register_message("consensus.instance")
+@dataclass(frozen=True, slots=True)
+class InstanceEnvelope:
+    """A ballot of consensus instance ``instance`` (≥ 2), enveloped.
+
+    The payload is one of the five ballot kinds above; the composite node
+    driver routes it to the matching participant, buffering ballots that
+    arrive before the local participant has proposed (CT drops pre-propose
+    ballots, which would strand early deciders' next-instance traffic).
+    """
+
+    instance: int
+    payload: Any

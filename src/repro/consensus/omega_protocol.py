@@ -1,0 +1,74 @@
+"""Ω-based early-deciding rotating-coordinator consensus.
+
+The second registered consensus protocol — the one that proves the
+:class:`~repro.consensus.spec.ConsensusSpec` abstraction is real.  It keeps
+the Chandra-Toueg locking machinery (majority estimates with maximal ``ts``
+in rounds > 1, ack/nack resolution, reliable ``DECIDE`` broadcast) but
+consults a **leader oracle** instead of a suspect list:
+
+* Phase 3 nacks when ``leader() != coordinator`` — the classic Ω trust
+  condition (Chandra-Hadzilacos-Toueg showed Ω is the weakest detector for
+  consensus), instead of ◇S's ``coordinator in suspects()``.
+* **Early decision**: round 1 skips phase 1 entirely.  Nothing can be
+  locked before the first round, so the round-1 coordinator may propose its
+  *own* initial value without collecting a majority of estimates — one
+  message delay less on the fault-free fast path.  Rounds > 1 collect
+  estimates exactly like CT, which is what preserves agreement across
+  coordinator changes.
+
+The leader oracle is supplied as a callback.  Over a ◇S-style detector the
+harness derives it by the standard Ω-from-◇S emulation (smallest
+unsuspected member); when the deployed detector carries a real
+:class:`~repro.core.omega.OmegaElector` (time-free with ``with_omega``),
+its accusation-ranked ``leader()`` is used directly.
+
+Safety holds for **any** leader oracle output (even one that disagrees at
+every process); liveness needs the oracle to eventually stabilise on one
+correct process, i.e. Ω.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..ids import ProcessId
+from .protocol import ChandraTouegConsensus, ConsensusConfig
+
+__all__ = ["OmegaConsensus", "LeaderSource"]
+
+LeaderSource = Callable[[], ProcessId]
+
+_NO_SUSPECTS: frozenset = frozenset()
+
+
+class OmegaConsensus(ChandraTouegConsensus):
+    """One process's participant state machine, leader-oracle flavoured."""
+
+    def __init__(
+        self,
+        config: ConsensusConfig,
+        leader_source: LeaderSource,
+        *,
+        fast_round: bool = True,
+    ) -> None:
+        # The ◇S callback is never consulted: _wants_nack is overridden.
+        super().__init__(config, lambda: _NO_SUSPECTS)
+        self._leader = leader_source
+        self._fast_round = fast_round
+
+    @property
+    def leader(self) -> ProcessId:
+        """The oracle's current pick (introspection for tests/tables)."""
+        return self._leader()
+
+    # -- oracle hooks --------------------------------------------------------
+    def _wants_nack(self, coordinator: ProcessId) -> bool:
+        return self._leader() != coordinator
+
+    def _collects_estimates(self, round_number: int) -> bool:
+        return round_number > 1 or not self._fast_round
+
+    # intentionally no other overrides: estimates/acks/locking are CT's
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state: Any = "decided" if self.decided else f"round {self.round}"
+        return f"OmegaConsensus(pid={self.process_id!r}, {state})"

@@ -22,6 +22,15 @@ member in sorted order):
 Safety (validity + agreement) holds under any detector output whatsoever;
 liveness needs ◇S and ``f < n / 2`` — exactly the paper's motivation for
 building a ◇S detector without timers.
+
+The class doubles as the **base** of the rotating-coordinator family: a
+subclass can override :meth:`~ChandraTouegConsensus._wants_nack` (which
+oracle condition lets phase 3 give up on the coordinator) and
+:meth:`~ChandraTouegConsensus._collects_estimates` (whether a round runs
+phase 1 at all) without touching the locking machinery that carries
+agreement.  :class:`repro.consensus.omega_protocol.OmegaConsensus` is the
+in-tree example; both are registered with the
+:mod:`repro.consensus.registry`.
 """
 
 from __future__ import annotations
@@ -90,6 +99,8 @@ class ChandraTouegConsensus:
         self._coordinator_proposed = False
         self._coordinator_resolved = False
         self._rounds_executed = 0
+        self._nacks_sent = 0
+        self._decision_round: int | None = None
 
     # -- introspection ------------------------------------------------------
     @property
@@ -104,6 +115,20 @@ class ChandraTouegConsensus:
     def rounds_executed(self) -> int:
         """Rounds this process has fully moved through (≥ decision round)."""
         return self._rounds_executed
+
+    @property
+    def proposed(self) -> bool:
+        return self._proposed
+
+    @property
+    def nacks_sent(self) -> int:
+        """Phase-3 nacks this process issued (aborted-round accounting)."""
+        return self._nacks_sent
+
+    @property
+    def decision_round(self) -> int | None:
+        """The round this process was in when it decided (``None`` before)."""
+        return self._decision_round
 
     @property
     def decided(self) -> bool:
@@ -174,21 +199,43 @@ class ChandraTouegConsensus:
     def _is_coordinator(self) -> bool:
         return self._config.coordinator(self._round) == self.process_id
 
+    # -- subclass hooks -----------------------------------------------------
+    def _wants_nack(self, coordinator: ProcessId) -> bool:
+        """Oracle condition letting phase 3 give up on ``coordinator``.
+
+        CT consults a ◇S suspect list; an Ω variant compares against the
+        elected leader.  Called only for a *remote* coordinator.
+        """
+        return coordinator in self._suspects()
+
+    def _collects_estimates(self, round_number: int) -> bool:
+        """Whether round ``round_number`` runs phase 1 at all.
+
+        Always true for CT.  An early-deciding variant may skip phase 1 in
+        round 1 — nothing can be locked before the first round, so the
+        coordinator may propose its own initial value directly.
+        """
+        return True
+
+    # -- phases -------------------------------------------------------------
     def _coordinator_phase2(self, effects: list[Effect]) -> bool:
         """Propose once a majority of estimates is buffered."""
         if not self._is_coordinator() or self._coordinator_proposed:
             return False
-        estimates = self._estimates.get(self._round, {})
-        if len(estimates) < self._config.majority:
-            return False
-        best = max(estimates.values(), key=lambda e: e.ts)
+        if self._collects_estimates(self._round):
+            estimates = self._estimates.get(self._round, {})
+            if len(estimates) < self._config.majority:
+                return False
+            value = max(estimates.values(), key=lambda e: e.ts).value
+        else:
+            value = self._estimate
         self._coordinator_proposed = True
-        proposal = Proposal(sender=self.process_id, round=self._round, value=best.value)
+        proposal = Proposal(sender=self.process_id, round=self._round, value=value)
         self._broadcast(proposal, effects)
         return True
 
     def _phase3(self, effects: list[Effect]) -> bool:
-        """Everyone: adopt the proposal (ack) or denounce a suspect (nack)."""
+        """Everyone: adopt the proposal (ack) or denounce the coordinator (nack)."""
         if self._phase3_done:
             return False
         coordinator = self._config.coordinator(self._round)
@@ -197,10 +244,11 @@ class ChandraTouegConsensus:
             self._estimate = proposal.value
             self._ts = self._round
             self._send(coordinator, Ack(sender=self.process_id, round=self._round), effects)
-        elif coordinator in self._suspects() and coordinator != self.process_id:
+        elif coordinator != self.process_id and self._wants_nack(coordinator):
+            self._nacks_sent += 1
             self._send(coordinator, Nack(sender=self.process_id, round=self._round), effects)
         else:
-            return False  # still waiting: proposal or suspicion
+            return False  # still waiting: proposal or the oracle's verdict
         self._phase3_done = True
         return True
 
@@ -252,9 +300,12 @@ class ChandraTouegConsensus:
         if not self._decided:
             self._decided = True
             self._decision = value
+            self._decision_round = self._round
 
     # -- transmission helpers ------------------------------------------------------
     def _send_estimate(self, effects: list[Effect]) -> None:
+        if not self._collects_estimates(self._round):
+            return
         coordinator = self._config.coordinator(self._round)
         estimate = Estimate(
             sender=self.process_id, round=self._round, value=self._estimate, ts=self._ts
@@ -285,3 +336,4 @@ class ChandraTouegConsensus:
             if not self._decided:
                 self._decided = True
                 self._decision = message.value
+                self._decision_round = self._round

@@ -1,0 +1,86 @@
+"""String-keyed plugin registry of consensus protocols.
+
+The consensus twin of :mod:`repro.detectors.registry`: a protocol registers
+a :class:`~repro.consensus.spec.ConsensusSpec` under a stable lower-case
+key, and every consumer — the generic
+:class:`~repro.consensus.sim_runner.ConsensusHarness`, the ``c1``/``t4``
+experiments, the ``repro protocols`` CLI listing, the registry-parametrized
+conformance battery — resolves protocols by key instead of importing
+concrete classes.
+
+The two built-in protocols (:mod:`repro.consensus.builtin`: Chandra-Toueg
+◇S and Ω early-deciding) are registered on first lookup; external code can
+register additional protocols (e.g. Paxos-style or chain-replication
+variants) at import time with :func:`register_protocol` and they become
+runnable over every registered detector for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ConfigurationError
+from .spec import ConsensusContext, ConsensusOracle, ConsensusSpec
+
+__all__ = [
+    "register_protocol",
+    "get_protocol",
+    "all_protocols",
+    "protocol_keys",
+    "build_protocol",
+]
+
+_REGISTRY: dict[str, ConsensusSpec] = {}
+
+
+def register_protocol(spec: ConsensusSpec) -> ConsensusSpec:
+    """Register a consensus protocol under ``spec.key``.
+
+    Returns ``spec``, so it composes with assignment.  Re-registering the
+    *same* spec object is a no-op (safe under repeated module import); a
+    different spec under an existing key raises
+    :class:`~repro.errors.ConfigurationError` — pick a new key rather than
+    shadowing a built-in.
+    """
+    existing = _REGISTRY.get(spec.key)
+    if existing is not None and existing is not spec:
+        raise ConfigurationError(f"consensus protocol key {spec.key!r} is already registered")
+    _REGISTRY[spec.key] = spec
+    return spec
+
+
+def _ensure_builtin() -> None:
+    from . import builtin  # noqa: F401  (registers on import)
+
+
+def get_protocol(key: str) -> ConsensusSpec:
+    """The spec registered under ``key`` (case-insensitive)."""
+    _ensure_builtin()
+    spec = _REGISTRY.get(key.lower() if isinstance(key, str) else key)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown consensus protocol {key!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return spec
+
+
+def all_protocols() -> dict[str, ConsensusSpec]:
+    """Every registered protocol, keyed and sorted by registry key."""
+    _ensure_builtin()
+    return {key: _REGISTRY[key] for key in sorted(_REGISTRY)}
+
+
+def protocol_keys() -> list[str]:
+    return list(all_protocols())
+
+
+def build_protocol(
+    key: str,
+    context: ConsensusContext,
+    oracle: ConsensusOracle,
+    params: Any | None = None,
+    /,
+    **overrides: Any,
+) -> Any:
+    """Build one process's participant for the protocol registered under ``key``."""
+    return get_protocol(key).build(context, oracle, params, **overrides)

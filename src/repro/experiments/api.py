@@ -480,6 +480,7 @@ _BUILTIN_MODULES = {
     "a1": "a1_grace_ablation",
     "a2": "a2_loss_resilience",
     "q1": "q1_qos_comparison",
+    "c1": "c1_consensus_qos",
 }
 
 

@@ -30,6 +30,7 @@ from ..errors import ConfigurationError
 from ..ids import ProcessId
 from ..sim.cluster import DriverFactory, SimCluster
 from ..sim.faults import (
+    CrashFault,
     FaultPlan,
     JoinFault,
     LeaveFault,
@@ -275,6 +276,20 @@ def _build_churn(
     )
 
 
+def _build_coordcrash(
+    members: Sequence[ProcessId], f: int, horizon: float, exclude: frozenset
+) -> FaultPlan:
+    victims = _eligible(members, exclude)
+    if not victims:
+        raise ConfigurationError("coordcrash needs at least 1 eligible member")
+    # The first member in sorted order is the round-1 coordinator of the
+    # rotating-coordinator protocols; killing it right at start — before it
+    # can answer the first query round or the workload proposes — makes
+    # every in-flight consensus instance pay the detector's full detection
+    # latency before round 2 can proceed.
+    return FaultPlan.of(crashes=[CrashFault(process=victims[0], time=0.001)])
+
+
 def _build_lossburst(
     members: Sequence[ProcessId], f: int, horizon: float, exclude: frozenset
 ) -> FaultPlan:
@@ -302,6 +317,13 @@ register_fault_scenario(
         name="churn",
         summary="dynamic membership: one late joiner, two departures",
         build=_build_churn,
+    )
+)
+register_fault_scenario(
+    FaultScenario(
+        name="coordcrash",
+        summary="the round-1 coordinator (first sorted member) crashes at start",
+        build=_build_coordcrash,
     )
 )
 register_fault_scenario(

@@ -1,8 +1,10 @@
 """T4 — Chandra-Toueg consensus latency over each failure detector.
 
 The detector exists to make consensus live; this experiment runs the CT
-protocol over the time-free detector and over the heartbeat baseline, in a
-fault-free run and with the round-1 coordinator crashed at startup.
+protocol (registry key ``ct``) over the time-free detector and over the
+heartbeat baseline — both addressed by detector registry key through the
+generic :class:`~repro.consensus.ConsensusHarness` — in a fault-free run
+and with the round-1 coordinator crashed at startup.
 
 Expected shape: fault-free, both decide in one coordinated round (network
 RTTs).  With a crashed coordinator, progress requires the detector to
@@ -72,7 +74,9 @@ def run_cell(params: T4Params, coords: dict, seed: int) -> dict:
     harness = ConsensusHarness(
         n=params.n,
         f=params.f,
-        fd_driver_factory=setup.driver_factory(params.f),
+        protocol="ct",
+        detector=setup.kind,
+        detector_params=setup.registry_params(),
         latency=ExponentialLatency(params.delay_mean),
         seed=seed,
         fault_plan=plan,

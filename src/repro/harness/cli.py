@@ -4,6 +4,7 @@ Examples::
 
     python -m repro experiments      # (`list` is an alias)
     python -m repro detectors
+    python -m repro protocols
     python -m repro run t1 --workers 2 --out results/
     python -m repro run t1 e2 f3 --full --workers 8 --out results/ --markdown
     python -m repro run t1 --detector heartbeat --detector phi
@@ -177,6 +178,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands.add_parser("list", help="alias of `experiments`")
     commands.add_parser("detectors", help="list registered detector families")
+    commands.add_parser("protocols", help="list registered consensus protocols")
 
     bench = commands.add_parser(
         "bench", help="run engine microbenchmarks into BENCH_MICRO.json"
@@ -281,6 +283,15 @@ def _cmd_detectors() -> int:
     for key, spec in all_detectors().items():
         mode = "query" if spec.mode is DetectorMode.QUERY else "timed"
         print(f"{key:<20} {spec.fd_class.value:<3} {mode:<6} {spec.summary}")
+    return 0
+
+
+def _cmd_protocols() -> int:
+    from ..consensus import all_protocols
+
+    for key, spec in all_protocols().items():
+        params = ",".join(sorted(spec.param_names())) or "-"
+        print(f"{key:<10} {spec.oracle:<8} {params:<16} {spec.summary}")
     return 0
 
 
@@ -577,6 +588,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiments()
     if args.command == "detectors":
         return _cmd_detectors()
+    if args.command == "protocols":
+        return _cmd_protocols()
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "cache":

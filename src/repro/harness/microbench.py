@@ -33,6 +33,10 @@ Workloads:
 * ``cells``   — one end-to-end experiment cell: a time-free cluster with
   a crash, run to horizon, then the full QoS tabulation (detection,
   mistakes, message load) — the workload grid runs scale by.
+* ``consensus`` — consensus workload plane: a detector-generic
+  ``ConsensusHarness`` run deciding a self-clocked chain of CT-◇S
+  instances over a time-free cluster, folded through the decision-ledger
+  metrics — the workload the ``c1`` grid scales by.
 * ``merge``   — protocol-core hot path: steady-state query merging on an
   n=32 membership where every received record is stale (Algorithm 1
   re-ships the full sets each round), exercising the batched
@@ -363,6 +367,46 @@ def bench_cells(n: int) -> float:
     return elapsed
 
 
+def bench_consensus(n: int) -> float:
+    """Consensus workload plane end-to-end: a multi-instance CT sequence.
+
+    Runs the detector-generic :class:`~repro.consensus.sim_runner.
+    ConsensusHarness` — an n=16 time-free cluster deciding a self-clocked
+    chain of CT-◇S instances (each decision proposes the next) — then folds
+    the decision ledger through :func:`~repro.metrics.consensus_stats` and
+    :func:`~repro.metrics.consensus_message_load`, the read path the ``c1``
+    grid scales by.  Reported events are scheduler events processed, so the
+    number covers ballot fan-out, envelope routing, oracle queries and the
+    decision-ledger bookkeeping together.
+    """
+    from ..consensus import ConsensusHarness
+    from ..metrics import consensus_message_load, consensus_stats
+    from ..sim.latency import LogNormalLatency
+
+    size = 16
+    horizon = max(10.0, n / 12_000)
+    harness = ConsensusHarness(
+        n=size,
+        f=5,
+        protocol="ct",
+        detector="time-free",
+        latency=LogNormalLatency(median=0.001, sigma=0.5),
+        seed=13,
+        instances=max(2, int(horizon // 2)),
+        propose_at=0.5,
+        instance_gap=2.0,
+    )
+
+    def run() -> None:
+        result = harness.run(until=horizon)
+        consensus_stats(result)
+        consensus_message_load(harness.cluster.trace, horizon=horizon, n=size)
+
+    elapsed = _timed(run)
+    bench_consensus.events = harness.cluster.scheduler.events_processed  # type: ignore[attr-defined]
+    return elapsed
+
+
 def bench_merge(n: int) -> float:
     """Protocol-core hot path: steady-state query merging, all records stale.
 
@@ -417,6 +461,7 @@ WORKLOADS: dict[str, Callable[[int], float]] = {
     "trace-query": bench_trace_query,
     "trace": bench_trace,
     "cells": bench_cells,
+    "consensus": bench_consensus,
     "merge": bench_merge,
 }
 

@@ -12,8 +12,13 @@ service of failure detectors", IEEE ToC 2002):
 * **query accuracy probability** — fraction of time an observer was right
   about a correct peer;
 * **message load** — messages per second per process, by kind.
+
+:mod:`repro.metrics.consensus` adds the application side of the QoS story:
+decision latency, rounds-to-decide and oracle-aborted rounds of a consensus
+workload running over the detector under measurement.
 """
 
+from .consensus import ConsensusStats, consensus_message_load, consensus_stats
 from .qos import (
     DetectionStats,
     EpochMistakeStats,
@@ -31,12 +36,15 @@ from .qos import (
 )
 
 __all__ = [
+    "ConsensusStats",
     "DetectionStats",
     "EpochMistakeStats",
     "MistakeStats",
     "PairQoS",
     "accuracy_stabilization",
     "all_detection_stats",
+    "consensus_message_load",
+    "consensus_stats",
     "detection_stats",
     "epoch_detection_stats",
     "epoch_mistake_stats",

@@ -22,7 +22,7 @@ GOLDEN_DIR = Path(__file__).resolve().parent
 
 #: every registered experiment is pinned by a committed golden
 GOLDEN_EXPERIMENTS = (
-    "t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2", "q1",
+    "t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2", "q1", "c1",
 )
 
 
@@ -31,6 +31,7 @@ def smoke_params():
     from repro.experiments import (
         a1_grace_ablation,
         a2_loss_resilience,
+        c1_consensus_qos,
         e1_density,
         e2_mobility,
         f1_detection_cdf,
@@ -77,6 +78,10 @@ def smoke_params():
         "q1": q1_qos_comparison.Q1Params(
             n=8, f=2, trials=1, crash_at=5.0, horizon=15.0
         ),
+        "c1": c1_consensus_qos.C1Params(
+            n=8, f=2, horizon=15.0, instances=3, instance_gap=2.5,
+            faults=("coordcrash", "partition"),
+        ),
     }
 
 
@@ -94,4 +99,21 @@ def chaos_params():
             n=8, f=2, trials=1, crash_at=5.0, horizon=15.0, faults=(preset,)
         )
         for preset in CHAOS_PRESETS
+    }
+
+
+#: c1 consensus-workload presets pinned by per-scenario goldens;
+#: artifacts live at ``consensus/<preset>/BENCH_C1.json``
+CONSENSUS_PRESETS = ("coordcrash", "partition", "crashrec", "churn", "lossburst")
+
+
+def consensus_params():
+    """preset name -> smoke-sized c1 params with that fault scenario."""
+    from repro.experiments import c1_consensus_qos
+
+    return {
+        preset: c1_consensus_qos.C1Params(
+            n=8, f=2, horizon=15.0, instances=3, instance_gap=2.5, faults=(preset,)
+        )
+        for preset in CONSENSUS_PRESETS
     }

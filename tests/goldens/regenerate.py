@@ -15,7 +15,15 @@ import time
 from repro.harness import run_grid, write_artifact
 from repro.harness.registry import get_spec
 
-from . import CHAOS_PRESETS, GOLDEN_DIR, GOLDEN_EXPERIMENTS, chaos_params, smoke_params
+from . import (
+    CHAOS_PRESETS,
+    CONSENSUS_PRESETS,
+    GOLDEN_DIR,
+    GOLDEN_EXPERIMENTS,
+    chaos_params,
+    consensus_params,
+    smoke_params,
+)
 
 
 def main() -> int:
@@ -34,6 +42,15 @@ def main() -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
         path = write_artifact(out_dir, result)
         print(f"q1[{preset}]: {len(result.outcomes)} cells "
+              f"in {time.perf_counter() - started:.1f}s -> {path}")
+    consensus = consensus_params()
+    for preset in CONSENSUS_PRESETS:
+        started = time.perf_counter()
+        result = run_grid(get_spec("c1"), consensus[preset])
+        out_dir = GOLDEN_DIR / "consensus" / preset
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = write_artifact(out_dir, result)
+        print(f"c1[{preset}]: {len(result.outcomes)} cells "
               f"in {time.perf_counter() - started:.1f}s -> {path}")
     return 0
 

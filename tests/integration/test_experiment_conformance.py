@@ -44,13 +44,15 @@ def _smoke_run(exp_id: str):
 
 
 class TestRegistry:
-    def test_twelve_experiments_registered(self):
-        assert len(EXPERIMENTS) == 12
+    def test_thirteen_experiments_registered(self):
+        assert len(EXPERIMENTS) == 13
         assert "q1" in EXPERIMENTS
+        assert "c1" in EXPERIMENTS
 
     def test_canonical_order(self):
         assert EXPERIMENTS == [
-            "t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2", "q1",
+            "t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2",
+            "q1", "c1",
         ]
 
     def test_canonical_order_survives_direct_module_import(self):
@@ -242,3 +244,56 @@ class TestQ1:
             assert latency == latency and 0.0 < latency < 15.0
         for accuracy in table.column("query accuracy P_A"):
             assert 0.0 <= accuracy <= 1.0
+
+
+class TestC1:
+    """The consensus workload plane's flagship experiment."""
+
+    def test_default_axes_cover_every_detector_and_every_fault_preset(self):
+        from repro.detectors import detector_keys
+        from repro.experiments.c1_consensus_qos import C1Params
+        from repro.experiments.scenarios import fault_scenario_keys
+
+        params = C1Params()
+        assert params.detectors == tuple(detector_keys())
+        assert set(params.faults) == set(fault_scenario_keys())
+
+    def test_coordcrash_separates_three_detector_families_on_latency(self):
+        # The acceptance shape: with the round-1 coordinator dead at start,
+        # the in-flight instance pays each family's detection latency —
+        # query ≈ Δ + δ, heartbeat ≈ Θ, phi-accrual later still.
+        result = _smoke_run("c1")
+        table = result.tables()[0]
+        by_detector = {
+            label: latency
+            for fault, label, latency in zip(
+                table.column("fault"),
+                table.column("detector"),
+                table.column("latency max (s)"),
+            )
+            if fault == "coordcrash"
+        }
+        groups = {round(latency, 1) for latency in by_detector.values()}
+        assert len(groups) >= 3, by_detector
+
+    def test_partition_separates_aborted_rounds_by_oracle_style(self):
+        # Timer families falsely accuse the far side and churn through
+        # nacked rounds; the query families (with retry) just stall.
+        result = _smoke_run("c1")
+        aborted = {
+            label: count
+            for fault, label, count in zip(
+                result.tables()[0].column("fault"),
+                result.tables()[0].column("detector"),
+                result.tables()[0].column("aborted rounds"),
+            )
+            if fault == "partition"
+        }
+        assert min(aborted.values()) == 0
+        assert max(aborted.values()) >= 3, aborted
+
+    def test_safety_holds_in_every_cell(self):
+        result = _smoke_run("c1")
+        for outcome in result.outcomes:
+            assert outcome.value["agreement"] is True, outcome.coords
+            assert outcome.value["validity"] is True, outcome.coords

@@ -28,19 +28,29 @@ class TestCliList:
             assert key in out
         assert "◇S" in out and "◇P" in out
 
-    def test_experiments_lists_all_twelve_with_axes_and_sizes(self, capsys):
+    def test_experiments_lists_all_thirteen_with_axes_and_sizes(self, capsys):
         assert main(["experiments"]) == 0
         lines = capsys.readouterr().out.splitlines()
         body = [line for line in lines[1:] if line.strip()]
-        assert len(body) == 12
+        assert len(body) == 13
         ids = [line.split()[0] for line in body]
         assert ids == [
-            "t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2", "q1",
+            "t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2",
+            "q1", "c1",
         ]
         by_id = dict(zip(ids, body))
         assert "n×detector×trial" in by_id["t1"]
         assert "sweep×stress×detector" in by_id["f2"]
         assert "detector×trial" in by_id["q1"]
+        assert "fault×detector" in by_id["c1"]
+
+    def test_protocols_lists_every_registered_protocol(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for key in ("ct", "omega"):
+            assert key in out
+        assert "suspects" in out and "leader" in out
+        assert "fast_round" in out
 
 
 class TestCliDryRun:

@@ -1,0 +1,199 @@
+"""Registry-parametrized conformance battery for consensus protocols.
+
+Every protocol registered in :mod:`repro.consensus` — built-in or plugin —
+must honour the same sans-I/O contract, asserted uniformly so a new
+registration is tested for free:
+
+* **determinism** — ``propose`` / ``on_message`` / ``poke`` are pure
+  functions of the participant's history and the oracle's answers: two
+  participants fed the identical sequence emit identical effects;
+* **effect well-formedness** — every emitted effect is a ``SendTo`` to a
+  *member*, never to the participant itself, carrying a registered
+  consensus ballot kind;
+* **decide-once** — a decision, once taken, never changes, and a decided
+  participant emits no further ballots;
+* **solvability** — under a well-behaved oracle and a reliable synchronous
+  delivery order, every participant decides on a proposed value.
+"""
+
+import pytest
+
+from repro.consensus import (
+    ConsensusContext,
+    ConsensusOracle,
+    all_protocols,
+    build_protocol,
+    get_protocol,
+    protocol_keys,
+    register_protocol,
+)
+from repro.consensus.messages import Ack, Decide, Estimate, Nack, Proposal
+from repro.core.effects import SendTo
+from repro.errors import ConfigurationError
+
+N = 5
+F = 2
+MEMBERS = tuple(range(1, N + 1))
+BALLOT_KINDS = (Estimate, Proposal, Ack, Nack, Decide)
+
+
+def benign_oracle() -> ConsensusOracle:
+    """A well-behaved oracle: nobody suspected, the first member leads."""
+    return ConsensusOracle(suspects=lambda: frozenset(), leader=lambda: 1)
+
+
+def build(key: str, pid: int, oracle: ConsensusOracle | None = None):
+    context = ConsensusContext(process_id=pid, membership=frozenset(MEMBERS), f=F)
+    return build_protocol(key, context, oracle or benign_oracle())
+
+
+def run_synchronously(key: str, proposals: dict) -> dict:
+    """All-propose, deliver every ballot in FIFO order until quiescence."""
+    participants = {pid: build(key, pid) for pid in MEMBERS}
+    queue: list = []
+
+    def submit(sender, effects):
+        queue.extend((sender, e.destination, e.message) for e in effects)
+
+    for pid, participant in participants.items():
+        submit(pid, participant.propose(proposals[pid]))
+    while queue:
+        sender, dst, message = queue.pop(0)
+        submit(dst, participants[dst].on_message(sender, message))
+    return participants
+
+
+@pytest.fixture(params=sorted(all_protocols()))
+def protocol(request):
+    return request.param
+
+
+class TestConformance:
+    def test_registered_spec_shape(self, protocol):
+        spec = get_protocol(protocol)
+        assert spec.key == protocol
+        assert spec.title and spec.summary
+        assert spec.oracle in ("suspects", "leader")
+        assert isinstance(spec.param_names(), frozenset)
+
+    def test_propose_is_deterministic(self, protocol):
+        first = build(protocol, 2).propose("v")
+        second = build(protocol, 2).propose("v")
+        assert first == second
+
+    def test_replayed_history_gives_identical_effects(self, protocol):
+        # Record one synchronous run's delivery history at process 3, then
+        # replay it into a fresh participant: every step must reproduce the
+        # original effects exactly.
+        participants = {pid: build(protocol, pid) for pid in MEMBERS}
+        queue: list = []
+        history: list = []  # (sender, message, effects) at process 3
+
+        def submit(sender, effects):
+            queue.extend((sender, e.destination, e.message) for e in effects)
+
+        for pid, participant in participants.items():
+            effects = participant.propose(f"v{pid}")
+            if pid == 3:
+                history.append(("propose", f"v{pid}", list(effects)))
+            submit(pid, effects)
+        while queue:
+            sender, dst, message = queue.pop(0)
+            effects = participants[dst].on_message(sender, message)
+            if dst == 3:
+                history.append((sender, message, list(effects)))
+            submit(dst, effects)
+
+        replayed = build(protocol, 3)
+        for sender, message, expected in history:
+            if sender == "propose":
+                assert replayed.propose(message) == expected
+            else:
+                assert replayed.on_message(sender, message) == expected
+
+    def test_poke_without_news_is_a_quiet_no_op(self, protocol):
+        participant = build(protocol, 2)
+        participant.propose("v")
+        assert participant.poke() == participant.poke() == []
+
+    def test_effects_are_well_formed(self, protocol):
+        participants = {pid: build(protocol, pid) for pid in MEMBERS}
+        queue: list = []
+
+        def check_and_submit(sender, effects):
+            for effect in effects:
+                assert isinstance(effect, SendTo), f"foreign effect {effect!r}"
+                assert effect.destination in MEMBERS
+                assert effect.destination != sender, "self-sends must stay local"
+                assert isinstance(effect.message, BALLOT_KINDS)
+            queue.extend((sender, e.destination, e.message) for e in effects)
+
+        for pid, participant in participants.items():
+            check_and_submit(pid, participant.propose(f"v{pid}"))
+        while queue:
+            sender, dst, message = queue.pop(0)
+            check_and_submit(dst, participants[dst].on_message(sender, message))
+
+    def test_solvable_under_a_benign_oracle(self, protocol):
+        proposals = {pid: f"v{pid}" for pid in MEMBERS}
+        participants = run_synchronously(protocol, proposals)
+        decisions = {p.decision for p in participants.values() if p.decided}
+        assert all(p.decided for p in participants.values())
+        assert len(decisions) == 1
+        assert decisions <= set(proposals.values())
+
+    def test_decide_once_and_then_silent(self, protocol):
+        participants = run_synchronously(
+            protocol, {pid: f"v{pid}" for pid in MEMBERS}
+        )
+        target = participants[4]
+        decision = target.decision
+        # Conflicting and duplicate late traffic must change nothing and
+        # emit nothing (the decided participant has halted).
+        assert target.on_message(2, Decide(sender=2, value="other")) == []
+        assert target.on_message(2, Proposal(sender=2, round=99, value="x")) == []
+        assert target.poke() == []
+        assert target.decision == decision
+
+
+class TestRegistry:
+    def test_builtin_keys(self):
+        assert protocol_keys() == ["ct", "omega"]
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_protocol("CT") is get_protocol("ct")
+
+    def test_unknown_key_raises_with_choices(self):
+        with pytest.raises(ConfigurationError, match="registered"):
+            get_protocol("paxos")
+
+    def test_reregistering_same_spec_is_idempotent(self):
+        spec = get_protocol("ct")
+        assert register_protocol(spec) is spec
+
+    def test_shadowing_a_key_is_rejected(self):
+        from dataclasses import replace
+
+        clone = replace(get_protocol("ct"), title="impostor")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_protocol(clone)
+
+    def test_unknown_param_overrides_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="fast_round"):
+            get_protocol("omega").make_params(nope=1)
+
+    def test_oracle_view_is_validated(self):
+        from dataclasses import replace
+
+        with pytest.raises(ConfigurationError, match="oracle"):
+            replace(get_protocol("ct"), key="bad", oracle="entrails")
+
+    def test_omega_params_route_through_build(self):
+        participant = build_protocol(
+            "omega",
+            ConsensusContext(process_id=1, membership=frozenset(MEMBERS), f=F),
+            benign_oracle(),
+            fast_round=False,
+        )
+        # With the fast round disabled, round 1 collects estimates like CT.
+        assert participant._collects_estimates(1) is True

@@ -1,0 +1,192 @@
+"""Hypothesis safety suite: consensus safety under *any* oracle output.
+
+The CT correctness argument splits cleanly: liveness needs ◇S (eventually
+some correct process is never suspected), but agreement and validity must
+hold under **arbitrary** detector behaviour — a suspect list that flips on
+every query, a leader oracle that elects a different process each time, a
+network that reorders, duplicates and drops ballots, coordinators crashing
+mid-round.  This suite drives the registry-built sans-I/O state machines
+(both ``ct`` and ``omega``) through adversarial schedules drawn by
+Hypothesis and asserts the safety invariants after every step.
+
+No simulator, no clocks: the adversary *is* the scheduler.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus import ConsensusContext, ConsensusOracle, build_protocol
+from repro.core.effects import SendTo
+
+
+class AdversarialCluster:
+    """Registry-built participants under a fully adversarial environment.
+
+    The network is a bag of in-flight ``(src, dst, message)`` ballots; the
+    schedule decides which is delivered, duplicated or dropped, which
+    process crashes, and what every oracle answers at every query.
+    """
+
+    def __init__(self, protocol, n, f, suspect_pool, leader_pool, proposals):
+        self.membership = frozenset(range(1, n + 1))
+        self._suspect_pool = suspect_pool  # per-query adversarial answers
+        self._leader_pool = leader_pool
+        self._queries = 0
+        self.participants = {
+            pid: build_protocol(
+                protocol,
+                ConsensusContext(process_id=pid, membership=self.membership, f=f),
+                ConsensusOracle(
+                    suspects=self._next_suspects, leader=self._next_leader
+                ),
+            )
+            for pid in sorted(self.membership)
+        }
+        self.proposals = proposals
+        self.crashed: set = set()
+        self.queue: list = []  # in-flight (src, dst, message)
+
+    def _next_suspects(self):
+        self._queries += 1
+        return self._suspect_pool[self._queries % len(self._suspect_pool)]
+
+    def _next_leader(self):
+        self._queries += 1
+        return self._leader_pool[self._queries % len(self._leader_pool)]
+
+    # -- adversary moves ---------------------------------------------------
+    def propose(self, pid):
+        participant = self.participants[pid]
+        if pid in self.crashed or participant.proposed:
+            return
+        self._submit(pid, participant.propose(self.proposals[pid]))
+
+    def deliver(self, index, *, duplicate=False):
+        if not self.queue:
+            return
+        src, dst, message = self.queue[index % len(self.queue)]
+        if not duplicate:
+            del self.queue[index % len(self.queue)]
+        if dst in self.crashed:
+            return
+        self._submit(dst, self.participants[dst].on_message(src, message))
+
+    def drop(self, index):
+        if self.queue:
+            del self.queue[index % len(self.queue)]
+
+    def poke(self, pid):
+        if pid not in self.crashed:
+            self._submit(pid, self.participants[pid].poke())
+
+    def crash(self, pid):
+        self.crashed.add(pid)
+
+    def _submit(self, sender, effects):
+        for effect in effects:
+            assert isinstance(effect, SendTo), f"foreign effect {effect!r}"
+            self.queue.append((sender, effect.destination, effect.message))
+
+    # -- invariants --------------------------------------------------------
+    def check_safety(self):
+        decided = {
+            pid: participant.decision
+            for pid, participant in self.participants.items()
+            if participant.decided
+        }
+        assert len(set(decided.values())) <= 1, f"agreement broken: {decided}"
+        proposed = {
+            self.proposals[pid]
+            for pid, participant in self.participants.items()
+            if participant.proposed
+        }
+        for pid, value in decided.items():
+            assert value in proposed, f"validity broken: {pid} decided {value!r}"
+
+
+@st.composite
+def adversarial_runs(draw):
+    n = draw(st.integers(min_value=3, max_value=6))
+    f = draw(st.integers(min_value=1, max_value=(n - 1) // 2))
+    members = list(range(1, n + 1))
+    # Oracle answers: arbitrary suspect sets / leaders, cycled per query.
+    suspect_pool = draw(
+        st.lists(
+            st.frozensets(st.sampled_from(members), max_size=n),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    leader_pool = draw(
+        st.lists(st.sampled_from(members), min_size=1, max_size=8)
+    )
+    proposals = {pid: draw(st.integers(min_value=0, max_value=3)) for pid in members}
+    # The schedule: every adversary move is a tagged draw; delivery indexes
+    # are reduced modulo the live queue at execution time.
+    moves = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("propose"), st.sampled_from(members)),
+                st.tuples(st.just("deliver"), st.integers(0, 63)),
+                st.tuples(st.just("duplicate"), st.integers(0, 63)),
+                st.tuples(st.just("drop"), st.integers(0, 63)),
+                st.tuples(st.just("poke"), st.sampled_from(members)),
+                st.tuples(st.just("crash"), st.sampled_from(members)),
+            ),
+            max_size=120,
+        )
+    )
+    return n, f, suspect_pool, leader_pool, proposals, moves
+
+
+@given(protocol=st.sampled_from(["ct", "omega"]), run=adversarial_runs())
+@settings(max_examples=60, deadline=None)
+def test_safety_under_adversarial_oracles_and_schedules(protocol, run):
+    n, f, suspect_pool, leader_pool, proposals, moves = run
+    cluster = AdversarialCluster(protocol, n, f, suspect_pool, leader_pool, proposals)
+    for pid in cluster.participants:
+        cluster.propose(pid)  # everyone in the race from the start
+    for move, arg in moves:
+        if move == "propose":
+            cluster.propose(arg)
+        elif move == "deliver":
+            cluster.deliver(arg)
+        elif move == "duplicate":
+            cluster.deliver(arg, duplicate=True)
+        elif move == "drop":
+            cluster.drop(arg)
+        elif move == "poke":
+            cluster.poke(arg)
+        elif move == "crash":
+            cluster.crash(arg)
+        cluster.check_safety()
+    # Drain whatever the adversary left in flight: safety must survive the
+    # quiescent tail too (late DECIDE relays, stale round traffic).
+    for _ in range(400):
+        if not cluster.queue:
+            break
+        cluster.deliver(0)
+        cluster.check_safety()
+
+
+@given(run=adversarial_runs())
+@settings(max_examples=30, deadline=None)
+def test_decide_once_under_duplication(run):
+    # Decision values are immutable once set, even when DECIDE broadcasts
+    # are duplicated and conflicting late ballots keep arriving.
+    n, f, suspect_pool, leader_pool, proposals, moves = run
+    cluster = AdversarialCluster("ct", n, f, suspect_pool, leader_pool, proposals)
+    for pid in cluster.participants:
+        cluster.propose(pid)
+    first_decisions = {}
+    for move, arg in moves:
+        if move == "deliver":
+            cluster.deliver(arg)
+        elif move == "duplicate":
+            cluster.deliver(arg, duplicate=True)
+        elif move == "poke":
+            cluster.poke(arg)
+        for pid, participant in cluster.participants.items():
+            if participant.decided:
+                first_decisions.setdefault(pid, participant.decision)
+                assert participant.decision == first_decisions[pid]

@@ -232,7 +232,7 @@ class TestRegistry:
         from repro.harness import all_specs
 
         assert sorted(all_specs()) == sorted(
-            ["t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2", "q1"]
+            ["t1", "t2", "t3", "t4", "f1", "f2", "f3", "e1", "e2", "a1", "a2", "q1", "c1"]
         )
 
     def test_get_spec_rejects_unknown(self):
